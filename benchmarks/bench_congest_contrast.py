@@ -1,0 +1,37 @@
+"""S6 (DESIGN.md addendum): LOCAL vs CONGEST message-volume contrast.
+
+The paper's algorithms rely on LOCAL's unbounded messages.  This bench
+quantifies by how much: per-message payload of radius-r gathering vs
+the one-identifier CONGEST budget, and the constant-size messages of
+the D2 protocol as the counterpoint.
+"""
+
+from repro.experiments.sweeps import identifier_robustness, message_volume_vs_radius
+
+
+def test_gathering_needs_local_model():
+    rows = message_volume_vs_radius(radii=(1, 2, 3))
+    assert all(not r["congest_feasible"] for r in rows)
+    volumes = [r["max_message_units"] for r in rows]
+    assert volumes == sorted(volumes)
+
+
+def test_identifier_robustness():
+    rows = identifier_robustness(seeds=(0, 1, 2))
+    assert all(r["valid"] for r in rows)
+    assert len({r["size"] for r in rows}) == 1
+    assert all(r["rounds"] == 3 for r in rows)
+
+
+def test_bench_regenerate_volume_sweep(benchmark):
+    rows = benchmark.pedantic(
+        message_volume_vs_radius, kwargs={"radii": (1, 2, 3)}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = rows
+
+
+def test_bench_regenerate_id_robustness(benchmark):
+    rows = benchmark.pedantic(
+        identifier_robustness, kwargs={"seeds": (0, 1)}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = rows

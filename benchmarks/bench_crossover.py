@@ -1,0 +1,30 @@
+"""S5 (DESIGN.md): the Theorem 4.1-vs-4.4 guarantee crossover at t = 25.
+
+``2t − 1 < 50`` exactly for ``t ≤ 25``: below that, the simple 3-round
+D2 algorithm has the better *guarantee*; above, Algorithm 1's constant
+50 wins.  Also measures where the *measured* curves cross on the
+stress family.
+"""
+
+from repro.experiments.sweeps import crossover_table, ratio_vs_t
+
+
+def test_guarantee_crossover():
+    rows = {r["t"]: r for r in crossover_table()}
+    assert rows[25]["winner"] == "Thm 4.4"
+    assert rows[26]["winner"] == "Thm 4.1"
+    for t, row in rows.items():
+        assert row["thm44_bound"] == 2 * t - 1
+        assert row["thm41_bound"] == 50
+
+
+def test_measured_curves_cross_eventually():
+    """On the stress family, D2's measured ratio overtakes Algorithm 1's
+    well before the guarantee crossover (the guarantees are loose)."""
+    rows = ratio_vs_t(ts=(3, 8))
+    assert rows[-1]["d2_ratio"] > rows[-1]["alg1_ratio"]
+
+
+def test_bench_regenerate_crossover(benchmark):
+    rows = benchmark.pedantic(crossover_table, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,25 @@
+"""Figure 1 regeneration (DESIGN.md "Fig. 1"): the Lemma 5.17/5.18 machinery.
+
+The paper's Figure 1 illustrates the red-edge preprocessing used to
+prove ``|A| ≤ (t−1)|B|`` on ``K_{2,t}``-minor-free bipartite minors.
+This bench *runs* that construction on a suite of minor-free instances
+and asserts every depicted property.
+"""
+
+from repro.experiments.figures import figure1_rows
+
+
+def test_figure1_properties():
+    for row in figure1_rows(seeds=(0, 1, 2)):
+        assert row["A_edgeless"], row
+        assert row["degrees_ok"], row
+        assert row["half_of_D2_ok"], row
+        assert row["ineq_|A|<=(t-1)|B|"], row
+
+
+def test_bench_regenerate_figure1(benchmark):
+    rows = benchmark.pedantic(figure1_rows, kwargs={"seeds": (0, 1)}, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {k: (v if not isinstance(v, bool) else int(v)) for k, v in row.items()}
+        for row in rows
+    ]

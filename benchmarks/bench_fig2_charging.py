@@ -1,0 +1,22 @@
+"""Figure 2 regeneration (DESIGN.md "Fig. 2"): the Lemma 3.3 charging picture.
+
+The paper's Figure 2 depicts interesting vertices charging nearby MDS
+vertices.  We measure the two quantities the picture encodes: charges
+per dominator (bounded by 6 per family in Claim 5.10, 19 overall) and
+the distance from an interesting vertex to its dominator (Claim 5.11:
+at most 5).
+"""
+
+from repro.experiments.figures import figure2_rows
+
+
+def test_figure2_claims():
+    for row in figure2_rows(seeds=(0, 1, 2)):
+        assert row["max_dist_to_dominator"] <= 5, row
+        # Claim 5.12 bound: 19 interesting vertices per MDS vertex.
+        assert row["charge_per_dominator"] <= 19, row
+
+
+def test_bench_regenerate_figure2(benchmark):
+    rows = benchmark.pedantic(figure2_rows, kwargs={"seeds": (0, 1)}, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,53 @@
+"""Ablation (DESIGN.md Section 6): interesting-vertex filter on 2-cuts.
+
+Algorithm 1 takes only *interesting* vertices of local 2-cuts; the MVC
+variant takes all of them.  On the Section 4 clique-with-pendants
+example taking everything is catastrophic (Θ(n) vs MDS = 1) — exactly
+the behaviour the filter exists to prevent.
+"""
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.radii import RadiusPolicy
+from repro.graphs import generators
+from repro.graphs.local_cuts import interesting_vertices_of_cuts, local_two_cuts
+from repro.graphs.twins import remove_true_twins
+
+
+def _all_two_cut_vertices(graph, policy):
+    reduced, _ = remove_true_twins(graph)
+    cuts = local_two_cuts(reduced, policy.two_cut_radius, minimal=True)
+    return set().union(*cuts) if cuts else set()
+
+
+def test_filter_prunes_clique_pendants():
+    graph = generators.clique_with_pendants(7)
+    policy = RadiusPolicy.practical()
+    unfiltered = _all_two_cut_vertices(graph, policy)
+    result = algorithm1(graph, policy)
+    taken = result.phases["interesting_2_cuts"]
+    # the filter rejects every 2-cut vertex of the example …
+    assert taken == set()
+    # … which the unfiltered rule would have taken wholesale.
+    assert len(unfiltered) >= 7
+
+
+def test_filter_keeps_ladder_rungs():
+    """Where 2-cut vertices are genuinely needed, the filter keeps them."""
+    graph = generators.ladder(8)
+    policy = RadiusPolicy.practical()
+    reduced, _ = remove_true_twins(graph)
+    cuts = local_two_cuts(reduced, policy.two_cut_radius, minimal=True)
+    interesting = interesting_vertices_of_cuts(reduced, cuts, policy.two_cut_radius)
+    assert interesting  # rungs qualify
+
+
+def test_bench_filtered(benchmark):
+    graph = generators.clique_with_pendants(6)
+    policy = RadiusPolicy.practical()
+    benchmark(algorithm1, graph, policy)
+
+
+def test_bench_unfiltered(benchmark):
+    graph = generators.clique_with_pendants(6)
+    policy = RadiusPolicy.practical()
+    benchmark(_all_two_cut_vertices, graph, policy)

@@ -1,0 +1,39 @@
+"""Ablation (DESIGN.md Section 6): MILP vs branch-and-bound brute force.
+
+Algorithm 1's Step 4 needs an exact B-domination solver.  Both backends
+must agree on optima; this bench compares their runtimes on the
+component sizes the algorithm actually produces.
+"""
+
+import pytest
+
+from repro.graphs.random_families import random_ding_augmentation, random_outerplanar
+from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
+from repro.solvers.exact import minimum_dominating_set
+
+
+INSTANCES = {
+    "outerplanar_16": random_outerplanar(16, seed=0),
+    "outerplanar_24": random_outerplanar(24, seed=0),
+    "ding_30": random_ding_augmentation(4, 3, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_backends_agree(name):
+    graph = INSTANCES[name]
+    assert len(minimum_dominating_set(graph)) == len(bnb_minimum_dominating_set(graph))
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_bench_milp_backend(benchmark, name):
+    graph = INSTANCES[name]
+    result = benchmark(minimum_dominating_set, graph)
+    benchmark.extra_info["opt"] = len(result)
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_bench_bnb_backend(benchmark, name):
+    graph = INSTANCES[name]
+    result = benchmark(bnb_minimum_dominating_set, graph)
+    benchmark.extra_info["opt"] = len(result)

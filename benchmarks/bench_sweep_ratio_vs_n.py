@@ -1,0 +1,28 @@
+"""S2 sweep (DESIGN.md): measured ratios are independent of n.
+
+LOCAL guarantees are per-neighborhood: growing the instance must not
+degrade the approximation.  We sweep n over a fixed family and assert
+the ratio series stays within a narrow band.
+"""
+
+from repro.experiments.sweeps import ratio_vs_n
+
+SIZES = (16, 32, 48)
+
+
+def test_ratio_flat_in_n():
+    rows = ratio_vs_n(sizes=SIZES)
+    ratios = [r["alg1_ratio"] for r in rows]
+    assert max(ratios) <= 4.0, rows
+    assert max(ratios) - min(ratios) <= 2.0, "ratio drifts with n"
+
+
+def test_d2_also_flat():
+    rows = ratio_vs_n(sizes=SIZES)
+    ratios = [r["d2_ratio"] for r in rows]
+    assert max(ratios) <= 5.0, rows
+
+
+def test_bench_regenerate_sweep(benchmark):
+    rows = benchmark.pedantic(ratio_vs_n, kwargs={"sizes": SIZES}, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows

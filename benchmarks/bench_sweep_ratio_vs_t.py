@@ -1,0 +1,45 @@
+"""S1 sweep (DESIGN.md): ratio vs t — the paper's headline contrast.
+
+Theorem 4.4's guarantee degrades linearly in t while Theorem 4.1's is a
+constant.  The measured curves must reproduce that shape: D2's ratio
+grows with t, Algorithm 1's stays flat, and both stay under their
+guarantees.  Includes the radius-policy ablation called out in
+DESIGN.md Section 6.
+"""
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.radii import RadiusPolicy
+from repro.experiments.sweeps import _k2t_stress_instance, ratio_vs_t
+from repro.analysis.ratio import measure_ratio
+
+
+TS = (3, 4, 6, 8)
+
+
+def test_sweep_shape():
+    rows = ratio_vs_t(ts=TS)
+    d2 = [r["d2_ratio"] for r in rows]
+    alg1 = [r["alg1_ratio"] for r in rows]
+    assert d2 == sorted(d2), "D2 ratio must not decrease with t"
+    assert d2[-1] > d2[0], "D2 ratio must grow with t"
+    assert max(alg1) - min(alg1) < 1.0, "Algorithm 1 ratio must stay flat"
+    for row in rows:
+        assert row["d2_ratio"] <= row["d2_bound"]
+        assert row["alg1_ratio"] <= row["alg1_bound"]
+
+
+def test_radius_policy_ablation():
+    """Widening the radii can only refine (or keep) the cut phases; the
+    output stays a valid dominating set with comparable ratio."""
+    graph = _k2t_stress_instance(5)
+    narrow = algorithm1(graph, RadiusPolicy.practical(2, 3))
+    wide = algorithm1(graph, RadiusPolicy.practical(4, 5))
+    r_narrow = measure_ratio(graph, narrow.solution)
+    r_wide = measure_ratio(graph, wide.solution)
+    assert r_narrow.valid and r_wide.valid
+    assert r_wide.ratio <= r_narrow.ratio + 1.0
+
+
+def test_bench_regenerate_sweep(benchmark):
+    rows = benchmark.pedantic(ratio_vs_t, kwargs={"ts": TS}, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,37 @@
+"""S3 sweep (DESIGN.md): rounds vs n — constant versus Θ(diameter).
+
+The defining property of the paper's algorithms: their round count does
+not grow with the network.  The full-gather baseline needs the diameter
+and shows the contrast.
+"""
+
+from repro.experiments.sweeps import rounds_vs_n
+
+SIZES = (8, 16, 24, 32)
+
+
+def test_local_rounds_constant():
+    rows = rounds_vs_n(sizes=SIZES)
+    assert len({r["alg1_rounds"] for r in rows}) == 1
+    assert len({r["d2_rounds"] for r in rows}) == 1
+
+
+def test_full_gather_grows_linearly():
+    rows = rounds_vs_n(sizes=SIZES)
+    gather = [r["full_gather_rounds"] for r in rows]
+    diameters = [r["diameter"] for r in rows]
+    assert gather == [d + 1 for d in diameters]
+    assert gather[-1] > 3 * gather[0] / 2
+
+
+def test_crossing_point():
+    """Beyond small diameters, the LOCAL algorithms win on rounds."""
+    rows = rounds_vs_n(sizes=SIZES)
+    last = rows[-1]
+    assert last["alg1_rounds"] < last["full_gather_rounds"]
+    assert last["d2_rounds"] < last["alg1_rounds"]
+
+
+def test_bench_regenerate_sweep(benchmark):
+    rows = benchmark.pedantic(rounds_vs_n, kwargs={"sizes": SIZES}, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,30 @@
+"""S10 (DESIGN.md addendum): the K_{2,t}-free => treewidth => asdim chain.
+
+Section 4's one-line justification for asymptotic dimension 1 is a
+two-step structural argument; this bench measures both steps on the
+reproduction's families: small largest-K_{2,t} minors, treewidth ≤ 3,
+and decomposition-cover control bounded by a small multiple of r.
+"""
+
+from repro.experiments.sweeps import treewidth_asdim_chain
+
+
+def test_chain_quantities_bounded():
+    for row in treewidth_asdim_chain(seeds=(0, 1)):
+        assert row["largest_k2t"] <= 7, row
+        assert row["treewidth"] <= 3, row
+        assert row["cover_control_r2"] <= 12, row
+
+
+def test_treewidth_below_minor_implied_bound():
+    # K_{2,t}-minor-free graphs have treewidth O(t); on our instances
+    # the measured width never exceeds the largest minor parameter + 1.
+    for row in treewidth_asdim_chain(seeds=(0, 1)):
+        assert row["treewidth"] <= row["largest_k2t"] + 1, row
+
+
+def test_bench_regenerate_chain(benchmark):
+    rows = benchmark.pedantic(
+        treewidth_asdim_chain, kwargs={"seeds": (0,)}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  ``pytest-benchmark`` measures the
+wall time of the regeneration; the *scientific* payload (measured
+ratios, round counts, lemma constants) is attached to
+``benchmark.extra_info`` so it lands in the benchmark JSON and the
+captured report.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Instance scale used across benchmark modules."""
+    return "tiny"

@@ -1,0 +1,76 @@
+"""Explore asymptotic dimension covers (Section 3 of the paper).
+
+The analysis hinges on covers ``V(G) = B_0 ∪ … ∪ B_d`` whose
+r-components are f(r)-bounded.  This example builds the dimension-1
+covers for paths and trees, measures how tight the control function is,
+and probes the generic BFS-annulus cover on the K_{2,t}-minor-free
+families the paper targets.
+
+Usage: python examples/asdim_explorer.py
+"""
+
+from repro.analysis import format_table
+from repro.graphs import generators
+from repro.graphs.asdim import (
+    bfs_layered_cover,
+    control_function_k2t,
+    path_cover,
+    tree_cover,
+    verify_cover,
+)
+from repro.graphs.random_families import random_ding_augmentation, random_tree
+
+
+def main() -> None:
+    print("== dimension-1 covers with proven linear control ==")
+    rows = []
+    for r in (1, 2, 3, 4):
+        path = generators.path(80)
+        ok, witnessed = verify_cover(path, path_cover(path, r), r)
+        rows.append(["path(80)", r, 2 * r, witnessed, ok])
+        tree = random_tree(80, seed=1)
+        ok, witnessed = verify_cover(tree, tree_cover(tree, r), r)
+        rows.append(["random tree(80)", r, 6 * r, witnessed, ok])
+    print(format_table(["graph", "r", "proven f(r)", "measured", "covers"], rows))
+
+    print("\n== generic BFS-annulus cover on K_2,t-free families ==")
+    rows = []
+    for name, graph in [
+        ("cycle(40)", generators.cycle(40)),
+        ("fan(30)", generators.fan(30)),
+        ("ladder(20)", generators.ladder(20)),
+        ("ding augmentation", random_ding_augmentation(4, 4, seed=2)),
+    ]:
+        for r in (1, 2):
+            cover = bfs_layered_cover(graph, r)
+            ok, witnessed = verify_cover(graph, cover, r)
+            rows.append([name, r, witnessed, ok])
+    print(format_table(["graph", "r", "measured bound", "covers"], rows))
+
+    print("\n== the paper's control function f(r) = (5r+18)t ==")
+    rows = []
+    for t in (2, 3, 5, 10):
+        rows.append(
+            [
+                t,
+                control_function_k2t(5, t),
+                control_function_k2t(11, t),
+                control_function_k2t(5, t) + 2,
+                control_function_k2t(11, t) + 5,
+            ]
+        )
+    print(
+        format_table(
+            ["t", "f(5)", "f(11)", "m_3.2 radius", "m_3.3 radius"], rows
+        )
+    )
+    print(
+        "\nThe radii above are why experiments default to the practical"
+        "\npreset: on simulation-scale graphs the paper constants exceed"
+        "\nthe diameter and the algorithm degenerates to global brute force"
+        "\n(still correct, but uninformative about locality)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""LOCAL vs CONGEST: what "messages have no size limit" buys.
+
+The paper works in the LOCAL model; Section 1 contrasts it with CONGEST
+where messages carry O(log n) bits.  This example makes the trade
+concrete on one network:
+
+1. radius-2 view gathering in LOCAL: 3 rounds, huge messages;
+2. the same gathering pipelined under CONGEST budgets: small messages,
+   many more rounds;
+3. which of the reproduced algorithms fit CONGEST outright.
+
+Usage: python examples/congest_vs_local.py
+"""
+
+from repro.analysis import format_table
+from repro.graphs import generators
+from repro.local_model.congest_gather import congest_gather_views
+from repro.local_model.congest_runtime import runs_in_congest
+from repro.local_model.gather import GatherAlgorithm, gather_views
+from repro.local_model.protocols import D2Protocol, DegreeTwoProtocol
+
+
+def main() -> None:
+    graph = generators.ladder(10)
+    print(f"network: ladder, n={graph.number_of_nodes()}, diameter 10\n")
+
+    print("== radius-2 view gathering ==")
+    _, local_trace = gather_views(graph, 2)
+    rows = [
+        [
+            "LOCAL (unbounded)",
+            local_trace.round_count,
+            round(local_trace.total_payload / max(1, local_trace.total_messages), 1),
+        ]
+    ]
+    for budget in (1, 2, 4, 8):
+        _, trace = congest_gather_views(graph, 2, budget)
+        rows.append(
+            [
+                f"CONGEST, {budget} facts/msg",
+                trace.round_count,
+                round(trace.total_payload / max(1, trace.total_messages), 1),
+            ]
+        )
+    print(format_table(["model", "rounds", "avg message units"], rows))
+
+    print("\n== which protocols fit CONGEST (4 ids per message)? ==")
+    rows = []
+    for name, factory in [
+        ("degree>=2 rule", DegreeTwoProtocol),
+        ("D2 / Thm 4.4", D2Protocol),
+        ("radius-3 gathering", lambda: GatherAlgorithm(3)),
+    ]:
+        fits, _ = runs_in_congest(graph, factory, ids_per_message=4)
+        rows.append([name, "yes" if fits else "no"])
+    print(format_table(["protocol", "fits"], rows))
+    print(
+        "\nD2 ships closed neighborhoods (Θ(Δ) ids): CONGEST-feasible only"
+        "\nfor bounded degree — on this ladder Δ = 3, so it just misses the"
+        "\n4-id budget's tuple overhead; gathering is hopeless, as expected."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of *Local Constant Approximation for Dominating
+Set on Graphs Excluding Large Minors* (Bonamy, Gavoille, Picavet,
+Wesolek; PODC 2025, arXiv:2504.01091).
+
+Public API highlights:
+
+* :func:`repro.algorithm1` — Theorem 4.1's 50-approximation LOCAL MDS
+  algorithm for ``K_{2,t}``-minor-free graphs;
+* :func:`repro.algorithm2` — Theorem 4.3's asymptotic-dimension variant;
+* :func:`repro.d2_dominating_set` — Theorem 4.4's 3-round
+  ``(2t−1)``-approximation;
+* :mod:`repro.local_model` — the deterministic LOCAL-model simulator;
+* :mod:`repro.graphs` — generators, local cuts, minors, covers;
+* :mod:`repro.solvers` — exact/baseline MDS and MVC solvers;
+* :mod:`repro.analysis` — validity checks, ratio measurement, lemma
+  verification;
+* :mod:`repro.experiments` — the Table 1 / figure harnesses.
+"""
+
+from repro.core import (
+    AlgorithmResult,
+    RadiusPolicy,
+    algorithm1,
+    algorithm2,
+    d2_dominating_set,
+    d2_vertex_cover,
+    degree_two_dominating_set,
+    full_gather_exact,
+    local_cuts_vertex_cover,
+    take_all_vertices,
+)
+from repro.solvers import (
+    greedy_dominating_set,
+    minimum_dominating_set,
+    minimum_vertex_cover,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmResult",
+    "RadiusPolicy",
+    "algorithm1",
+    "algorithm2",
+    "d2_dominating_set",
+    "d2_vertex_cover",
+    "degree_two_dominating_set",
+    "full_gather_exact",
+    "local_cuts_vertex_cover",
+    "take_all_vertices",
+    "greedy_dominating_set",
+    "minimum_dominating_set",
+    "minimum_vertex_cover",
+    "__version__",
+]

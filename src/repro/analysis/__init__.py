@@ -1,0 +1,33 @@
+"""Validity checks, ratio measurement, and empirical lemma verification."""
+
+from repro.analysis.domination import (
+    is_dominating_set,
+    is_b_dominating_set,
+    undominated_vertices,
+)
+from repro.analysis.ratio import RatioReport, measure_ratio, measure_vc_ratio
+from repro.analysis.lemmas import (
+    lemma_3_2_report,
+    lemma_3_3_report,
+    lemma_4_2_report,
+    lemma_5_17_minor,
+    verify_lemma_5_18,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.stats import summarize
+
+__all__ = [
+    "is_dominating_set",
+    "is_b_dominating_set",
+    "undominated_vertices",
+    "RatioReport",
+    "measure_ratio",
+    "measure_vc_ratio",
+    "lemma_3_2_report",
+    "lemma_3_3_report",
+    "lemma_4_2_report",
+    "lemma_5_17_minor",
+    "verify_lemma_5_18",
+    "format_table",
+    "summarize",
+]

@@ -1,0 +1,30 @@
+"""Validity checkers for dominating sets and their B-restricted variants."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.graphs.util import closed_neighborhood_of_set
+
+Vertex = Hashable
+
+
+def undominated_vertices(graph: nx.Graph, candidate: Iterable[Vertex]) -> set[Vertex]:
+    """Vertices of ``graph`` not dominated by ``candidate``."""
+    dominated = closed_neighborhood_of_set(graph, candidate)
+    return set(graph.nodes) - dominated
+
+
+def is_dominating_set(graph: nx.Graph, candidate: Iterable[Vertex]) -> bool:
+    """Return whether ``candidate`` dominates all of ``graph``."""
+    return not undominated_vertices(graph, candidate)
+
+
+def is_b_dominating_set(
+    graph: nx.Graph, candidate: Iterable[Vertex], targets: Iterable[Vertex]
+) -> bool:
+    """Return whether ``candidate`` dominates every vertex of ``targets``."""
+    dominated = closed_neighborhood_of_set(graph, candidate)
+    return set(targets) <= dominated

@@ -1,0 +1,65 @@
+"""Approximation-ratio measurement against exact optima."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.analysis.domination import is_dominating_set
+from repro.solvers.exact import minimum_dominating_set
+from repro.solvers.vc import is_vertex_cover, minimum_vertex_cover
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Outcome of one ratio measurement."""
+
+    algorithm_size: int
+    optimum_size: int
+    valid: bool
+
+    @property
+    def ratio(self) -> float:
+        """|ALG| / |OPT| (1.0 when both are empty)."""
+        if self.optimum_size == 0:
+            return 1.0 if self.algorithm_size == 0 else float("inf")
+        return self.algorithm_size / self.optimum_size
+
+
+def measure_ratio(
+    graph: nx.Graph,
+    solution: Iterable[Vertex],
+    optimum: set[Vertex] | None = None,
+) -> RatioReport:
+    """Measure a dominating-set solution against the exact optimum.
+
+    ``optimum`` can be precomputed (Table 1 reuses it across algorithms).
+    """
+    solution_set = set(solution)
+    if optimum is None:
+        optimum = minimum_dominating_set(graph)
+    return RatioReport(
+        algorithm_size=len(solution_set),
+        optimum_size=len(optimum),
+        valid=is_dominating_set(graph, solution_set),
+    )
+
+
+def measure_vc_ratio(
+    graph: nx.Graph,
+    solution: Iterable[Vertex],
+    optimum: set[Vertex] | None = None,
+) -> RatioReport:
+    """Measure a vertex-cover solution against the exact optimum."""
+    solution_set = set(solution)
+    if optimum is None:
+        optimum = minimum_vertex_cover(graph)
+    return RatioReport(
+        algorithm_size=len(solution_set),
+        optimum_size=len(optimum),
+        valid=is_vertex_cover(graph, solution_set),
+    )

@@ -1,0 +1,38 @@
+"""Tiny summary statistics for experiment series (no pandas)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Summary:
+    count: int
+    mean: float
+    maximum: float
+    minimum: float
+    stddev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} max={self.maximum:.3f} "
+            f"min={self.minimum:.3f} sd={self.stddev:.3f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Mean / extremes / standard deviation of a numeric series."""
+    data = [float(v) for v in values]
+    if not data:
+        return Summary(count=0, mean=0.0, maximum=0.0, minimum=0.0, stddev=0.0)
+    mean = sum(data) / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return Summary(
+        count=len(data),
+        mean=mean,
+        maximum=max(data),
+        minimum=min(data),
+        stddev=math.sqrt(variance),
+    )

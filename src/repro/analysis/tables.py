@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment reports (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are formatted compactly (floats to 2 decimals); all columns
+    are left-aligned except numeric ones, which are right-aligned.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    numeric = [
+        all(
+            isinstance(row[i], (int, float)) and not isinstance(row[i], bool)
+            for row in rows
+        )
+        and bool(rows)
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, value in enumerate(cells):
+            parts.append(value.rjust(widths[i]) if numeric[i] else value.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

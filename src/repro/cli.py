@@ -1,0 +1,124 @@
+"""Command-line interface: run the paper's algorithms on generated graphs.
+
+Examples::
+
+    python -m repro run --family fan --size 20 --algorithm algorithm1
+    python -m repro run --family ladder --size 24 --algorithm d2 --simulate
+    python -m repro compare --family outerplanar --size 18 --seed 3
+    python -m repro families
+    python -m repro report --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.domination import is_dominating_set
+from repro.analysis.ratio import measure_ratio
+from repro.analysis.tables import format_table
+from repro.core.algorithm1 import algorithm1
+from repro.core.baselines import degree_two_dominating_set, full_gather_exact, take_all_vertices
+from repro.core.d2 import d2_dominating_set
+from repro.core.distributed_greedy import distributed_greedy_dominating_set
+from repro.core.radii import RadiusPolicy
+from repro.graphs.families import FAMILIES, get_family
+from repro.solvers.exact import minimum_dominating_set
+
+ALGORITHMS = {
+    "algorithm1": lambda g, simulate: algorithm1(
+        g, RadiusPolicy.practical(), mode="simulate" if simulate else "fast"
+    ),
+    "d2": lambda g, simulate: d2_dominating_set(g),
+    "degree_two": lambda g, simulate: degree_two_dominating_set(g),
+    "greedy": lambda g, simulate: distributed_greedy_dominating_set(g),
+    "take_all": lambda g, simulate: take_all_vertices(g),
+    "exact": lambda g, simulate: full_gather_exact(g),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one instance")
+    run.add_argument("--family", required=True, choices=sorted(FAMILIES))
+    run.add_argument("--size", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
+    run.add_argument(
+        "--simulate",
+        action="store_true",
+        help="true per-node message-passing execution (algorithm1 only)",
+    )
+
+    compare = sub.add_parser("compare", help="run every algorithm on one instance")
+    compare.add_argument("--family", required=True, choices=sorted(FAMILIES))
+    compare.add_argument("--size", type=int, default=20)
+    compare.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("families", help="list available graph families")
+
+    report = sub.add_parser("report", help="regenerate every experiment table")
+    report.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    return parser
+
+
+def _cmd_run(args) -> int:
+    graph = get_family(args.family).make(args.size, args.seed)
+    result = ALGORITHMS[args.algorithm](graph, args.simulate)
+    optimum = minimum_dominating_set(graph)
+    report = measure_ratio(graph, result.solution, optimum)
+    print(f"family={args.family} n={graph.number_of_nodes()} m={graph.number_of_edges()}")
+    print(f"algorithm={result.name} rounds={result.rounds}")
+    print(f"solution ({result.size} vertices): {sorted(result.solution, key=repr)}")
+    print(f"optimum: {len(optimum)}  ratio: {report.ratio:.3f}  valid: {report.valid}")
+    if result.phases:
+        print(f"phases: {result.phase_sizes()}")
+    return 0 if report.valid else 1
+
+
+def _cmd_compare(args) -> int:
+    graph = get_family(args.family).make(args.size, args.seed)
+    optimum = minimum_dominating_set(graph)
+    rows = []
+    for name in sorted(ALGORITHMS):
+        result = ALGORITHMS[name](graph, False)
+        report = measure_ratio(graph, result.solution, optimum)
+        rows.append([name, result.size, report.ratio, result.rounds, report.valid])
+    print(f"family={args.family} n={graph.number_of_nodes()} opt={len(optimum)}")
+    print(format_table(["algorithm", "size", "ratio", "rounds", "valid"], rows))
+    return 0
+
+
+def _cmd_families() -> int:
+    rows = [
+        [family.name, family.table_row, family.minor_free_t or "-"]
+        for family in FAMILIES.values()
+    ]
+    print(format_table(["family", "table-1 row", "K_2,t-free for t >="], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import full_report
+
+    print(full_report(args.scale))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "families":
+        return _cmd_families()
+    if args.command == "report":
+        return _cmd_report(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

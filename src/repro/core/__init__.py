@@ -1,0 +1,38 @@
+"""The paper's algorithms: Theorems 4.1, 4.3, 4.4 and the MVC variants."""
+
+from repro.core.algorithm1 import algorithm1, decide_membership, InsufficientViewError
+from repro.core.algorithm2 import algorithm2
+from repro.core.baselines import (
+    degree_two_dominating_set,
+    full_gather_exact,
+    take_all_vertices,
+)
+from repro.core.d2 import d2_dominating_set, d2_set, gamma
+from repro.core.interesting import (
+    globally_interesting_vertices,
+    interesting_cuts,
+    almost_interesting_vertices,
+)
+from repro.core.radii import RadiusPolicy
+from repro.core.results import AlgorithmResult
+from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+
+__all__ = [
+    "algorithm1",
+    "algorithm2",
+    "decide_membership",
+    "InsufficientViewError",
+    "degree_two_dominating_set",
+    "full_gather_exact",
+    "take_all_vertices",
+    "d2_dominating_set",
+    "d2_set",
+    "gamma",
+    "globally_interesting_vertices",
+    "interesting_cuts",
+    "almost_interesting_vertices",
+    "RadiusPolicy",
+    "AlgorithmResult",
+    "d2_vertex_cover",
+    "local_cuts_vertex_cover",
+]

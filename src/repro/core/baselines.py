@@ -1,0 +1,83 @@
+"""Folklore baselines from Table 1 and the introduction.
+
+* trees — take every vertex of degree ≥ 2 (3-approximation, 2 rounds;
+  footnote 3: one round to count neighbors, one for the paper's model
+  bookkeeping);
+* ``K_{1,t}``-minor-free — take *all* vertices (0 rounds,
+  t-approximation via ``MDS ≥ n/(Δ+1)``, footnote 4);
+* bounded-diameter graphs — gather everything in ``diam(G)`` rounds and
+  solve exactly (footnote 2: every vertex sees the whole graph and runs
+  the same deterministic brute force);
+* the paper's Table 1 row "outerplanar 5-approx in 2 rounds" [4] is
+  generalised by Theorem 4.4 itself (``t = 3`` gives ``2t − 1 = 5``), so
+  the outerplanar baseline is :func:`repro.core.d2.d2_dominating_set`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.core.results import AlgorithmResult
+from repro.solvers.exact import minimum_dominating_set
+
+Vertex = Hashable
+
+
+def degree_two_dominating_set(graph: nx.Graph) -> AlgorithmResult:
+    """All vertices of degree ≥ 2 (components of size ≤ 2 take their min).
+
+    On a tree with at least three vertices this is the folklore 3-approx
+    (leaves are dominated by their support vertices, which have degree
+    ≥ 2).  On general connected graphs the output is still a dominating
+    set; the ratio guarantee is tree-specific.
+    """
+    if graph.number_of_nodes() == 0:
+        return AlgorithmResult(name="degree_two", solution=set(), rounds=0)
+    solution = {v for v in graph.nodes if graph.degree(v) >= 2}
+    for component in nx.connected_components(graph):
+        if not (solution & component):
+            solution.add(min(component, key=repr))
+    return AlgorithmResult(
+        name="degree_two",
+        solution=solution,
+        rounds=2,
+        phases={"degree_two": set(solution)},
+    )
+
+
+def take_all_vertices(graph: nx.Graph) -> AlgorithmResult:
+    """The 0-round baseline: every vertex joins the dominating set.
+
+    A t-approximation on ``K_{1,t}``-minor-free graphs (maximum degree
+    ≤ t − 1, so ``MDS ≥ n/t``).
+    """
+    return AlgorithmResult(
+        name="take_all",
+        solution=set(graph.nodes),
+        rounds=0,
+        phases={"all": set(graph.nodes)},
+    )
+
+
+def full_gather_exact(graph: nx.Graph) -> AlgorithmResult:
+    """Exact MDS after gathering the whole graph (footnote 2).
+
+    Charges ``diam(G) + 1`` rounds — the cost of every vertex learning
+    ``G`` entirely — and returns the canonical optimal set every vertex
+    computes identically.
+    """
+    if graph.number_of_nodes() == 0:
+        return AlgorithmResult(name="full_gather_exact", solution=set(), rounds=0)
+    diameter = max(
+        nx.diameter(graph.subgraph(c)) for c in nx.connected_components(graph)
+    )
+    solution = minimum_dominating_set(graph)
+    return AlgorithmResult(
+        name="full_gather_exact",
+        solution=solution,
+        rounds=diameter + 1,
+        phases={"exact": set(solution)},
+        metadata={"diameter": diameter},
+    )

@@ -1,0 +1,125 @@
+"""Global interesting 2-cuts: the Section 5.3 vocabulary.
+
+For *global* (not radius-bounded) 2-cuts, the paper says ``v`` is
+**interesting** when there is a 2-cut ``c = {u, v}`` with
+
+* ``N[v] ⊄ N[u]``, and
+* at least two components of ``G − c`` containing a vertex non-adjacent
+  to ``u``;
+
+``v`` is then a *friend* of ``u``, the cut is an *interesting cut*, and
+a vertex with only the second property is *almost-interesting*.  These
+global notions drive the charging argument of Lemma 3.3; the algorithm
+itself uses the local variants in :mod:`repro.graphs.local_cuts`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.cuts import components_after_removal, minimal_two_cuts
+from repro.graphs.util import closed_neighborhood
+
+Vertex = Hashable
+
+
+def _second_condition(graph: nx.Graph, u: Vertex, cut: frozenset[Vertex]) -> bool:
+    """≥ 2 components of ``G − c`` each holding a vertex non-adjacent to u."""
+    n_u = closed_neighborhood(graph, u)
+    witnesses = 0
+    for component in components_after_removal(graph, cut):
+        if any(w not in n_u for w in component):
+            witnesses += 1
+            if witnesses >= 2:
+                return True
+    return False
+
+
+def is_globally_interesting(graph: nx.Graph, v: Vertex, cut: frozenset[Vertex]) -> bool:
+    """Is ``v`` interesting via the specific 2-cut ``cut = {u, v}``?"""
+    if v not in cut or len(cut) != 2:
+        return False
+    (u,) = cut - {v}
+    if closed_neighborhood(graph, v) <= closed_neighborhood(graph, u):
+        return False
+    return _second_condition(graph, u, cut)
+
+
+def globally_interesting_vertices(graph: nx.Graph) -> set[Vertex]:
+    """All vertices interesting via some global minimal 2-cut."""
+    result: set[Vertex] = set()
+    for cut in minimal_two_cuts(graph):
+        for v in cut:
+            if v not in result and is_globally_interesting(graph, v, cut):
+                result.add(v)
+    return result
+
+
+def interesting_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
+    """Minimal 2-cuts ``{u, v}`` where ``v`` is interesting and a friend of
+    ``u`` (i.e. at least one vertex of the cut is interesting via it)."""
+    return [
+        cut
+        for cut in minimal_two_cuts(graph)
+        if any(is_globally_interesting(graph, v, cut) for v in cut)
+    ]
+
+
+def almost_interesting_vertices(graph: nx.Graph) -> set[Vertex]:
+    """Vertices satisfying only the component condition (Section 5.3)."""
+    result: set[Vertex] = set()
+    for cut in minimal_two_cuts(graph):
+        for v in cut:
+            (u,) = cut - {v}
+            if _second_condition(graph, u, cut):
+                result.add(v)
+    return result
+
+
+def covering_noncrossing_families(graph: nx.Graph) -> list[list[frozenset[Vertex]]]:
+    """A Proposition 5.8-style cover: few non-crossing families of cuts.
+
+    Selects, for every interesting vertex, one certifying cut — greedily
+    preferring cuts that certify several vertices and cross few chosen
+    cuts — then partitions the chosen cuts into non-crossing families.
+    The paper proves 3 families always suffice for a suitable choice;
+    tests check the greedy matches that bound on the paper's families.
+    """
+    from repro.graphs.cuts import crossing_two_cuts
+    from repro.graphs.spqr import noncrossing_families
+
+    cuts = minimal_two_cuts(graph)
+    certified: dict[frozenset[Vertex], set[Vertex]] = {}
+    for cut in cuts:
+        holders = {v for v in cut if is_globally_interesting(graph, v, cut)}
+        if holders:
+            certified[cut] = holders
+
+    uncovered = set().union(*certified.values()) if certified else set()
+    chosen: list[frozenset[Vertex]] = []
+    while uncovered:
+        def score(cut: frozenset[Vertex]) -> tuple[int, int, str]:
+            gain = len(certified[cut] & uncovered)
+            crossings = sum(
+                1 for other in chosen if crossing_two_cuts(graph, cut, other)
+            )
+            return (-gain, crossings, repr(sorted(cut, key=repr)))
+
+        best = min((c for c in certified if certified[c] & uncovered), key=score)
+        chosen.append(best)
+        uncovered -= certified[best]
+    return noncrossing_families(graph, chosen)
+
+
+def friends(graph: nx.Graph, u: Vertex) -> set[Vertex]:
+    """All friends of ``u``: partners of cuts through which ``u``'s partner
+    is interesting (the charging argument walks these)."""
+    result: set[Vertex] = set()
+    for cut in minimal_two_cuts(graph):
+        if u in cut:
+            (v,) = cut - {u}
+            if is_globally_interesting(graph, u, cut):
+                result.add(v)
+    return result

@@ -1,0 +1,68 @@
+"""Instance suites: which graphs each experiment runs on.
+
+A :class:`Workload` is a named list of concrete graphs (family × sizes ×
+seeds), deliberately materialised up front so that every algorithm in a
+comparison sees *exactly* the same instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+
+from repro.graphs.families import get_family
+
+
+@dataclass
+class Workload:
+    """A reproducible batch of instances."""
+
+    name: str
+    instances: list[nx.Graph] = field(default_factory=list)
+
+    @property
+    def sizes(self) -> list[int]:
+        return [g.number_of_nodes() for g in self.instances]
+
+
+def make_workload(
+    family_name: str, sizes: Sequence[int], seeds: Sequence[int] = (0,)
+) -> Workload:
+    """Materialise ``family × sizes × seeds`` deterministic instances."""
+    family = get_family(family_name)
+    instances = [
+        family.make(size, seed) for size in sizes for seed in seeds
+    ]
+    return Workload(name=family_name, instances=instances)
+
+
+def standard_suite(scale: str = "small") -> dict[str, Workload]:
+    """The default instance suites used by Table 1 and the sweeps.
+
+    ``scale`` is ``"tiny"`` (fast unit-test scale), ``"small"`` (default
+    benchmark scale) or ``"medium"`` (slower, larger graphs).
+    """
+    if scale == "tiny":
+        sizes, seeds = [12, 18], (0,)
+    elif scale == "small":
+        sizes, seeds = [16, 24, 36], (0, 1)
+    elif scale == "medium":
+        sizes, seeds = [24, 48, 72, 96], (0, 1, 2)
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+    names = [
+        "path",
+        "tree",
+        "star",
+        "cycle",
+        "outerplanar",
+        "fan",
+        "cactus",
+        "ladder",
+        "ding",
+        "fan_flower",
+        "clique_pendants",
+    ]
+    return {name: make_workload(name, sizes, seeds) for name in names}

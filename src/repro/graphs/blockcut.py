@@ -1,0 +1,87 @@
+"""Block-cut trees (used in the proof of Lemma 3.2, Claim 5.3).
+
+The block-cut tree ``T`` of a connected graph ``G`` is the bipartite graph
+on ``B ∪ C`` where ``B`` is the set of maximal 2-connected blocks and
+``C`` the set of cut vertices, with an edge ``(b, c)`` whenever ``c ∈ b``.
+``T`` is a tree and all its leaves are blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.cuts import cut_vertices
+
+Vertex = Hashable
+
+BLOCK = "block"
+CUT = "cut"
+
+
+def biconnected_blocks(graph: nx.Graph) -> list[frozenset[Vertex]]:
+    """Return the maximal 2-connected blocks of ``graph``.
+
+    Each block is a vertex set; bridges yield 2-vertex blocks and isolated
+    vertices yield singleton blocks.
+    """
+    blocks = [frozenset(b) for b in nx.biconnected_components(graph)]
+    covered: set[Vertex] = set().union(*blocks) if blocks else set()
+    for v in graph.nodes:
+        if v not in covered:
+            blocks.append(frozenset({v}))
+    blocks.sort(key=lambda b: repr(sorted(b, key=repr)))
+    return blocks
+
+
+def block_cut_tree(graph: nx.Graph) -> nx.Graph:
+    """Build the block-cut tree of a connected graph.
+
+    Nodes of the returned tree carry a ``kind`` attribute (``"block"`` or
+    ``"cut"``); block nodes carry their vertex set in the ``members``
+    attribute, cut nodes carry the cut vertex in ``vertex``.
+
+    Raises ``ValueError`` on disconnected input (the paper always reduces
+    to connected components first).
+    """
+    if graph.number_of_nodes() == 0:
+        return nx.Graph()
+    if not nx.is_connected(graph):
+        raise ValueError("block_cut_tree requires a connected graph")
+
+    tree = nx.Graph()
+    cuts = cut_vertices(graph)
+    for c in cuts:
+        tree.add_node(("cut", c), kind=CUT, vertex=c)
+    for i, block in enumerate(biconnected_blocks(graph)):
+        node = ("block", i)
+        tree.add_node(node, kind=BLOCK, members=block)
+        for c in cuts & block:
+            tree.add_edge(node, ("cut", c))
+    return tree
+
+
+def is_valid_block_cut_tree(graph: nx.Graph, tree: nx.Graph) -> bool:
+    """Sanity-check a block-cut tree: it must be a tree whose leaves are blocks."""
+    if tree.number_of_nodes() == 0:
+        return graph.number_of_nodes() == 0
+    if not nx.is_tree(tree):
+        return False
+    for node in tree.nodes:
+        if tree.degree(node) <= 1 and tree.nodes[node]["kind"] == CUT and tree.number_of_nodes() > 1:
+            return False
+    block_union: set[Vertex] = set()
+    for node, data in tree.nodes(data=True):
+        if data["kind"] == BLOCK:
+            block_union |= set(data["members"])
+    return block_union == set(graph.nodes)
+
+
+def blocks_containing(tree: nx.Graph, vertex: Vertex) -> list[frozenset[Vertex]]:
+    """Return the member sets of all blocks of the tree containing ``vertex``."""
+    return [
+        data["members"]
+        for _, data in tree.nodes(data=True)
+        if data["kind"] == BLOCK and vertex in data["members"]
+    ]

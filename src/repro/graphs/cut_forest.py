@@ -1,0 +1,188 @@
+"""Interesting 2-cut forests (Section 5.3) and Proposition 5.8's rules.
+
+The proof of Lemma 3.3 organises interesting 2-cuts into at most three
+*pairwise non-crossing* families ``P_1, P_2, P_3`` — selected per SPQR
+node, with an explicit case analysis on cycle (C-)nodes — and then
+arranges each family into a forest ordered by nesting, along which the
+charging argument walks.  This module implements both halves:
+
+* :func:`cycle_node_families` — the verbatim case analysis (the seven
+  bullets of Section 5.3) assigning the chosen cuts of a cycle node to
+  ``P_1``/``P_2``/``P_3``;
+* :func:`nesting_forest` — the forest of a non-crossing cut family: a
+  cut is the child of the minimal cut that separates it from the root
+  side (the laminar order the charging argument uses);
+* :func:`displayed_vertices` — the vertices displayed by a forest
+  (Corollary 5.9 charges each displayed vertex through its forest).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.graphs.cuts import components_after_removal, crossing_two_cuts
+
+Vertex = Hashable
+
+
+def cycle_node_families(
+    k: int, virtual_edges: Sequence[tuple[int, int]] = ()
+) -> dict[str, list[frozenset[int]]]:
+    """Proposition 5.8's cut selection for a cycle node ``v_0 … v_{k−1}``.
+
+    ``virtual_edges`` are index pairs that are virtual in the skeleton.
+    Returns the families as index-pair sets.  Cases follow the paper's
+    enumeration; all virtual-edge endpoint pairs additionally go to
+    ``P_1``.
+    """
+    if k < 3:
+        raise ValueError("cycle nodes have at least 3 vertices")
+    p1: list[frozenset[int]] = []
+    p2: list[frozenset[int]] = []
+    p3: list[frozenset[int]] = []
+
+    virtuals = [tuple(sorted((a % k, b % k))) for a, b in virtual_edges]
+    for a, b in virtuals:
+        p1.append(frozenset({a, b}))
+
+    def pair(i: int, j: int) -> frozenset[int]:
+        return frozenset({i % k, j % k})
+
+    if k >= 8 and k % 2 == 0:
+        # P1: {v_0, v_{k-3}}, {v_1, v_{k-4}}, …, {v_{k/2-3}, v_{k/2}}.
+        i, j = 0, k - 3
+        while i <= k // 2 - 3:
+            p1.append(pair(i, j))
+            i, j = i + 1, j - 1
+        p2.append(pair(k // 2 - 2, k - 1))
+        p2.append(pair(k // 2 - 1, k - 2))
+    elif k >= 8:  # odd
+        half = (k - 1) // 2
+        i, j = 0, k - 3
+        while i <= half - 3:
+            p1.append(pair(i, j))
+            i, j = i + 1, j - 1
+        p1.append(pair(half - 3, half))  # the paper's extra odd cut
+        p2.append(pair(half - 2, k - 1))
+        p2.append(pair(half - 1, k - 2))
+    elif k == 7:
+        p1.extend([pair(0, 3), pair(0, 4)])
+        p2.append(pair(1, 5))
+        p3.append(pair(2, 6))
+    elif k == 6:
+        p1.append(pair(0, 3))
+        p2.append(pair(1, 4))
+        p3.append(pair(2, 5))
+    elif virtuals:
+        # k <= 5 with virtual edges: paper cases 5–7, anchored at the
+        # lexicographically first virtual edge rotated to (0, 1).
+        if len(virtuals) == 1 and k == 5:
+            p1.append(pair(0, 2))
+            p2.append(pair(1, 4))
+        elif len(virtuals) >= 2:
+            for i in range(2, k - 1):
+                p1.append(pair(0, i))
+            if k == 5:
+                p2.append(pair(1, k - 1))
+    return {"P1": _dedup(p1), "P2": _dedup(p2), "P3": _dedup(p3)}
+
+
+def _dedup(cuts: list[frozenset[int]]) -> list[frozenset[int]]:
+    seen: set[frozenset[int]] = set()
+    out = []
+    for cut in cuts:
+        if cut not in seen and len(cut) == 2:
+            seen.add(cut)
+            out.append(cut)
+    return out
+
+
+def indices_cross(k: int, c1: frozenset[int], c2: frozenset[int]) -> bool:
+    """Do two vertex-index pairs interleave around a k-cycle?"""
+    if c1 & c2:
+        return False
+    a, b = sorted(c1)
+    c, d = sorted(c2)
+    inside_c = a < c < b
+    inside_d = a < d < b
+    return inside_c != inside_d
+
+
+def families_noncrossing_on_cycle(k: int, families: dict[str, list[frozenset[int]]]) -> bool:
+    """Verify the Proposition 5.8 guarantee for one cycle node."""
+    for cuts in families.values():
+        for i, c1 in enumerate(cuts):
+            for c2 in cuts[i + 1 :]:
+                if indices_cross(k, c1, c2):
+                    return False
+    return True
+
+
+def covered_indices(families: dict[str, list[frozenset[int]]]) -> set[int]:
+    out: set[int] = set()
+    for cuts in families.values():
+        for cut in cuts:
+            out |= set(cut)
+    return out
+
+
+def nesting_forest(
+    graph: nx.Graph, cuts: Sequence[frozenset[Vertex]]
+) -> nx.DiGraph:
+    """Arrange pairwise non-crossing 2-cuts into their nesting forest.
+
+    ``c'`` is a descendant of ``c`` when both vertices of ``c'`` lie in
+    one component of ``G − c`` that does not contain the (deterministic)
+    root-side anchor — the "below" relation the charging argument walks.
+    The parent of ``c'`` is its minimal ancestor.  Returns a DiGraph
+    with edges parent → child; roots have in-degree 0.
+    """
+    for i, c1 in enumerate(cuts):
+        for c2 in list(cuts)[i + 1 :]:
+            if crossing_two_cuts(graph, c1, c2):
+                raise ValueError(f"cuts {set(c1)} and {set(c2)} cross")
+
+    anchor = min(graph.nodes, key=repr)
+
+    def below(inner: frozenset[Vertex], outer: frozenset[Vertex]) -> bool:
+        """Is `inner` strictly inside a non-anchor component of G − outer?"""
+        if inner == outer:
+            return False
+        for component in components_after_removal(graph, outer):
+            if anchor in component:
+                continue
+            if set(inner) - set(outer) and set(inner) <= component | set(outer):
+                if set(inner) & component:
+                    return True
+        return False
+
+    forest = nx.DiGraph()
+    forest.add_nodes_from(cuts)
+    for child in cuts:
+        ancestors = [c for c in cuts if c != child and below(child, c)]
+        if not ancestors:
+            continue
+        # the parent is the ancestor that is itself below all others
+        parent = ancestors[0]
+        for candidate in ancestors[1:]:
+            if below(candidate, parent):
+                parent = candidate
+        forest.add_edge(parent, child)
+    return forest
+
+
+def displayed_vertices(forest: nx.DiGraph) -> set[Vertex]:
+    """All vertices appearing in some cut of the forest (Corollary 5.9)."""
+    out: set[Vertex] = set()
+    for cut in forest.nodes:
+        out |= set(cut)
+    return out
+
+
+def forest_depth(forest: nx.DiGraph) -> int:
+    """Longest root-to-leaf chain (the charging walk's reach)."""
+    if forest.number_of_nodes() == 0:
+        return 0
+    return nx.dag_longest_path_length(forest) + 1

@@ -1,0 +1,131 @@
+"""Global cut machinery: cut vertices, minimal 2-cuts, crossing cuts.
+
+Definitions (Section 2 of the paper):
+
+* a *k-cut* of ``G`` is a minimal set of ``k`` vertices whose removal
+  increases the number of connected components of ``G``;
+* a cut ``C`` is *minimal* when no proper subset of ``C`` is also a cut;
+* two 2-cuts ``c1``, ``c2`` *cross* when the two vertices of ``c1`` lie in
+  different components of ``G − c2`` and vice versa (Section 5.3).
+
+These operate on the whole graph; their local (radius-bounded) analogues
+live in :mod:`repro.graphs.local_cuts`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def _component_count(graph: nx.Graph) -> int:
+    return nx.number_connected_components(graph)
+
+
+def is_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
+    """Return whether removing ``cut`` increases the component count.
+
+    A cut that empties the graph does not count (there is nothing left to
+    disconnect), matching the standard convention.
+    """
+    cut_set = set(cut)
+    if not cut_set or not set(graph.nodes) - cut_set:
+        return False
+    before = _component_count(graph)
+    after = _component_count(graph.subgraph(set(graph.nodes) - cut_set))
+    return after > before
+
+
+def is_minimal_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
+    """Return whether ``cut`` is a cut and no proper subset of it is one."""
+    cut_set = set(cut)
+    if not is_cut(graph, cut_set):
+        return False
+    for size in range(1, len(cut_set)):
+        for subset in combinations(sorted(cut_set, key=repr), size):
+            if is_cut(graph, subset):
+                return False
+    return True
+
+
+def cut_vertices(graph: nx.Graph) -> set[Vertex]:
+    """Return all cut vertices (1-cuts) of ``graph``.
+
+    Uses the linear-time articulation-point algorithm; 1-cuts are always
+    minimal so no extra filtering is needed.
+    """
+    return set(nx.articulation_points(graph))
+
+
+def cut_vertices_by_definition(graph: nx.Graph) -> set[Vertex]:
+    """Quadratic definition-based 1-cut enumeration (used to cross-check)."""
+    return {v for v in graph.nodes if is_cut(graph, {v})}
+
+
+def two_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
+    """Enumerate all (not necessarily minimal) 2-cuts of ``graph``."""
+    nodes = sorted(graph.nodes, key=repr)
+    result = []
+    base = _component_count(graph)
+    for u, v in combinations(nodes, 2):
+        rest = set(graph.nodes) - {u, v}
+        if rest and _component_count(graph.subgraph(rest)) > base:
+            result.append(frozenset({u, v}))
+    return result
+
+
+def minimal_two_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
+    """Enumerate all *minimal* 2-cuts ``{u, v}`` of ``graph``.
+
+    ``{u, v}`` is minimal when it is a cut but neither ``{u}`` nor ``{v}``
+    alone is one.
+    """
+    ones = cut_vertices(graph)
+    return [cut for cut in two_cuts(graph) if not (cut & ones)]
+
+
+def components_after_removal(graph: nx.Graph, cut: Iterable[Vertex]) -> list[set[Vertex]]:
+    """Connected components of ``G − cut``."""
+    rest = set(graph.nodes) - set(cut)
+    return [set(c) for c in nx.connected_components(graph.subgraph(rest))]
+
+
+def crossing_two_cuts(graph: nx.Graph, c1: Iterable[Vertex], c2: Iterable[Vertex]) -> bool:
+    """Return whether 2-cuts ``c1`` and ``c2`` cross (Section 5.3).
+
+    The cuts cross when the two vertices of ``c1`` lie in different
+    components of ``G − c2`` *and* the two vertices of ``c2`` lie in
+    different components of ``G − c1``.
+    """
+    c1_set, c2_set = set(c1), set(c2)
+    if len(c1_set) != 2 or len(c2_set) != 2 or c1_set & c2_set:
+        return False
+
+    def separated(cut: set[Vertex], pair: set[Vertex]) -> bool:
+        comps = components_after_removal(graph, cut)
+        homes = []
+        for v in pair:
+            home = next((i for i, comp in enumerate(comps) if v in comp), None)
+            if home is None:  # v is inside the cut: not separated
+                return False
+            homes.append(home)
+        return homes[0] != homes[1]
+
+    return separated(c2_set, c1_set) and separated(c1_set, c2_set)
+
+
+def attached_components(graph: nx.Graph, cut: Iterable[Vertex]) -> list[set[Vertex]]:
+    """Components of ``G − cut`` that have at least one neighbor in ``cut``.
+
+    For a minimal cut every component of ``G − cut`` is attached, but for
+    non-minimal candidate sets this filters out irrelevant components.
+    """
+    cut_set = set(cut)
+    boundary = set()
+    for v in cut_set:
+        boundary.update(graph.neighbors(v))
+    return [comp for comp in components_after_removal(graph, cut_set) if comp & boundary]

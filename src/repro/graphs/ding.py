@@ -1,0 +1,281 @@
+"""Ding's structure for 3-connected ``K_{2,t}``-minor-free graphs (Sec. 5.4).
+
+The paper outsources the structure of 3-connected ``K_{2,t}``-minor-free
+graphs to Ding (arXiv:1702.01355): every such graph is an *augmentation*
+of a bounded-size core — a graph obtained by gluing disjoint *fans* and
+*strips* onto the core at their corners (Proposition 5.15).
+
+This module provides executable versions of those notions:
+
+* :func:`type_one_graph` / :func:`is_type_one` — graphs with a reference
+  Hamiltonian cycle whose chords pairwise cross at most once, and
+  crossing chords are "adjacent" on the cycle;
+* :class:`Fan` and :class:`Strip` — the two building blocks, with their
+  corners, centers, lengths and radii;
+* :func:`augment` — glue fans/strips onto a core graph, enforcing Ding's
+  corner-identification rule;
+* :func:`strip_radius` — the radius notion used in the proof of
+  Lemma 4.2 (max distance from any strip vertex to its corners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.graphs.util import distances_from
+
+Vertex = Hashable
+
+
+def _cycle_positions(cycle_order: Sequence[Vertex]) -> dict[Vertex, int]:
+    return {v: i for i, v in enumerate(cycle_order)}
+
+
+def chords_of(graph: nx.Graph, cycle_order: Sequence[Vertex]) -> list[tuple[Vertex, Vertex]]:
+    """Edges of ``graph`` that are not edges of the reference cycle."""
+    n = len(cycle_order)
+    cycle_edges = {
+        frozenset((cycle_order[i], cycle_order[(i + 1) % n])) for i in range(n)
+    }
+    return [
+        (u, v) for u, v in graph.edges if frozenset((u, v)) not in cycle_edges
+    ]
+
+
+def chords_cross(
+    cycle_order: Sequence[Vertex], chord1: tuple[Vertex, Vertex], chord2: tuple[Vertex, Vertex]
+) -> bool:
+    """Return whether two non-incident chords cross on the reference cycle.
+
+    Chords ``ab`` and ``cd`` cross when the endpoints interleave around
+    the cycle (``a, c, b, d`` in cyclic order).
+    """
+    pos = _cycle_positions(cycle_order)
+    a, b = sorted((pos[chord1[0]], pos[chord1[1]]))
+    c, d = pos[chord2[0]], pos[chord2[1]]
+    if len({a, b, c, d}) < 4:
+        return False
+    inside_c = a < c < b
+    inside_d = a < d < b
+    return inside_c != inside_d
+
+
+def is_type_one(graph: nx.Graph, cycle_order: Sequence[Vertex]) -> bool:
+    """Check Ding's type-I condition for ``graph`` with the given cycle.
+
+    Requirements: ``cycle_order`` is a Hamiltonian cycle of the graph;
+    each chord crosses at most one other chord; and when chords ``ab``
+    and ``cd`` cross, either both ``ac`` and ``bd`` or both ``ad`` and
+    ``bc`` are cycle edges.
+    """
+    n = len(cycle_order)
+    if set(cycle_order) != set(graph.nodes) or n != graph.number_of_nodes():
+        return False
+    for i in range(n):
+        if not graph.has_edge(cycle_order[i], cycle_order[(i + 1) % n]):
+            return False
+    pos = _cycle_positions(cycle_order)
+    cycle_adjacent = lambda u, v: (pos[u] - pos[v]) % n in (1, n - 1)
+
+    chords = chords_of(graph, cycle_order)
+    for i, chord1 in enumerate(chords):
+        crossings = []
+        for j, chord2 in enumerate(chords):
+            if i != j and chords_cross(cycle_order, chord1, chord2):
+                crossings.append(chord2)
+        if len(crossings) > 1:
+            return False
+        for chord2 in crossings:
+            a, b = chord1
+            c, d = chord2
+            pattern1 = cycle_adjacent(a, c) and cycle_adjacent(b, d)
+            pattern2 = cycle_adjacent(a, d) and cycle_adjacent(b, c)
+            if not (pattern1 or pattern2):
+                return False
+    return True
+
+
+def type_one_graph(n: int, chord_pairs: Sequence[tuple[int, int]] = ()) -> nx.Graph:
+    """Build a type-I graph on cycle ``0..n−1`` with the given chords.
+
+    Raises ``ValueError`` if the requested chords violate the type-I
+    condition.
+    """
+    graph = nx.cycle_graph(n)
+    for u, v in chord_pairs:
+        graph.add_edge(u, v)
+    if not is_type_one(graph, list(range(n))):
+        raise ValueError("requested chords violate the type-I condition")
+    return graph
+
+
+@dataclass(frozen=True)
+class Fan:
+    """A fan building block: apex (center) + triangulated path.
+
+    ``corners = (center, first, last)`` in the paper's notation
+    ``(a, b, c)`` with ``a`` the shared endpoint of the two boundary
+    edges.
+    """
+
+    graph: nx.Graph
+    center: Vertex
+    first: Vertex
+    last: Vertex
+
+    @property
+    def corners(self) -> tuple[Vertex, Vertex, Vertex]:
+        return (self.center, self.first, self.last)
+
+    @property
+    def length(self) -> int:
+        """Number of chords = path vertices adjacent to the center − 2."""
+        return max(0, self.graph.degree(self.center) - 2)
+
+
+@dataclass(frozen=True)
+class Strip:
+    """A strip building block with four corners ``(a, b, c, d)``.
+
+    Built as a ladder-like type-I graph; ``a, b`` sit on one end rung and
+    ``c, d`` on the other.
+    """
+
+    graph: nx.Graph
+    corners: tuple[Vertex, Vertex, Vertex, Vertex]
+
+
+def make_fan(length: int, label_offset: int = 0) -> Fan:
+    """Fan of the given length (number of chords ≥ 1).
+
+    Vertices ``offset .. offset + length + 2``: the center is ``offset``,
+    the path is ``offset+1 .. offset+length+2``.
+    """
+    if length < 1:
+        raise ValueError("fan length must be >= 1")
+    path_len = length + 2
+    graph = nx.Graph()
+    center = label_offset
+    path_vertices = [label_offset + 1 + i for i in range(path_len)]
+    for i, v in enumerate(path_vertices):
+        graph.add_edge(center, v)
+        if i > 0:
+            graph.add_edge(path_vertices[i - 1], v)
+    return Fan(graph=graph, center=center, first=path_vertices[0], last=path_vertices[-1])
+
+
+def make_strip(rungs: int, label_offset: int = 0, *, crossed: bool = False) -> Strip:
+    """Ladder strip with the given number of rungs (≥ 2).
+
+    With ``crossed=True`` every other rung is replaced by the allowed
+    crossing-chord pattern (the X-pattern the type-I condition permits),
+    exercising the crossing branch of :func:`is_type_one`.
+    Corners are ``(u_0, v_0, u_last, v_last)``.
+    """
+    if rungs < 2:
+        raise ValueError("strip needs at least 2 rungs")
+    graph = nx.Graph()
+    top = [label_offset + i for i in range(rungs)]
+    bottom = [label_offset + rungs + i for i in range(rungs)]
+    for i in range(rungs - 1):
+        graph.add_edge(top[i], top[i + 1])
+        graph.add_edge(bottom[i], bottom[i + 1])
+    for i in range(rungs):
+        if crossed and 0 < i < rungs - 1 and i % 2 == 0:
+            graph.add_edge(top[i - 1], bottom[i])
+            graph.add_edge(top[i], bottom[i - 1])
+        else:
+            graph.add_edge(top[i], bottom[i])
+    return Strip(graph=graph, corners=(top[0], bottom[0], top[-1], bottom[-1]))
+
+
+def strip_radius(strip: Strip) -> int:
+    """Radius of a strip: max distance from any vertex to the corner set.
+
+    This is the quantity Lemma 4.2 bounds — long strips force local
+    2-cuts.
+    """
+    best = 0
+    corner_dists = [distances_from(strip.graph, c) for c in strip.corners]
+    for v in strip.graph.nodes:
+        best = max(best, max(d[v] for d in corner_dists))
+    return best
+
+
+@dataclass
+class Attachment:
+    """A fan or strip together with the core vertices its corners glue to."""
+
+    piece: Fan | Strip
+    glue: dict[Vertex, Vertex] = field(default_factory=dict)
+    """Maps piece corners to core vertices (must be injective per piece)."""
+
+
+def augment(core: nx.Graph, attachments: Sequence[Attachment]) -> nx.Graph:
+    """Glue fans/strips onto ``core`` at their corners (Ding augmentation).
+
+    Ding's rule: distinct pieces may share a core vertex only when one of
+    the sharing corners is a fan center (the other a fan center or strip
+    corner).  Piece-internal labels are relocated to fresh integers above
+    the core's labels; glued corners take the core vertex's label.
+
+    Returns the augmented graph.
+    """
+    graph = core.copy()
+    used_core: dict[Vertex, list[tuple[Attachment, Vertex]]] = {}
+    next_label = (
+        max((v for v in core.nodes if isinstance(v, int)), default=-1) + 1
+    )
+    for attachment in attachments:
+        piece = attachment.piece
+        corners = set(piece.corners if isinstance(piece, Strip) else piece.corners)
+        glue = attachment.glue
+        if not set(glue) <= corners:
+            raise ValueError("can only glue pieces at their corners")
+        if len(set(glue.values())) != len(glue):
+            raise ValueError("a piece's corners must glue to distinct core vertices")
+        for corner, core_vertex in glue.items():
+            if core_vertex not in core.nodes:
+                raise ValueError(f"core vertex {core_vertex!r} does not exist")
+            for other_attachment, other_corner in used_core.get(core_vertex, []):
+                is_fan_center = (
+                    isinstance(piece, Fan) and corner == piece.center
+                )
+                other_piece = other_attachment.piece
+                other_is_fan_center = (
+                    isinstance(other_piece, Fan) and other_corner == other_piece.center
+                )
+                if not (is_fan_center or other_is_fan_center):
+                    raise ValueError(
+                        "two pieces may share a core vertex only via a fan center"
+                    )
+            used_core.setdefault(core_vertex, []).append((attachment, corner))
+
+        relabel: dict[Vertex, Vertex] = {}
+        for v in piece.graph.nodes:
+            if v in glue:
+                relabel[v] = glue[v]
+            else:
+                relabel[v] = next_label
+                next_label += 1
+        for u, v in piece.graph.edges:
+            graph.add_edge(relabel[u], relabel[v])
+    return graph
+
+
+def fan_flower(petals: int, fan_length: int) -> nx.Graph:
+    """A core triangle with ``petals`` fans glued by their centers.
+
+    A small, fully deterministic Ding augmentation used across tests and
+    benchmarks.
+    """
+    core = nx.complete_graph(3)
+    attachments = []
+    offset = 100
+    for i in range(petals):
+        fan = make_fan(fan_length, label_offset=offset + i * (fan_length + 10))
+        attachments.append(Attachment(piece=fan, glue={fan.center: i % 3}))
+    return augment(core, attachments)

@@ -1,0 +1,120 @@
+"""Registry of named graph families for the experiment harness.
+
+A :class:`Family` bundles a human-readable name, the class it belongs to
+(the Table 1 row), a deterministic generator indexed by size, and the
+``t`` for which the family is ``K_{2,t}``-minor-free.  The registry lets
+benchmarks iterate "one suite per Table 1 row" declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+
+from repro.graphs import generators
+from repro.graphs.ding import fan_flower
+from repro.graphs.random_families import (
+    random_cactus,
+    random_ding_augmentation,
+    random_outerplanar,
+    random_tree,
+)
+
+
+@dataclass(frozen=True)
+class Family:
+    """A named distribution of graphs, indexed by a size parameter."""
+
+    name: str
+    table_row: str
+    minor_free_t: int
+    """The family is K_{2,t}-minor-free for this t (and larger)."""
+    make: Callable[[int, int], nx.Graph]
+    """``make(size, seed) -> graph``."""
+
+
+def _trees(size: int, seed: int) -> nx.Graph:
+    return random_tree(size, seed)
+
+
+def _paths(size: int, seed: int) -> nx.Graph:
+    return generators.path(size)
+
+
+def _cycles(size: int, seed: int) -> nx.Graph:
+    return generators.cycle(max(3, size))
+
+
+def _outerplanar(size: int, seed: int) -> nx.Graph:
+    return random_outerplanar(max(3, size), seed)
+
+
+def _fans(size: int, seed: int) -> nx.Graph:
+    return generators.fan(max(1, size - 1))
+
+
+def _cacti(size: int, seed: int) -> nx.Graph:
+    return random_cactus(max(1, size // 4), 6, seed)
+
+
+def _ladders(size: int, seed: int) -> nx.Graph:
+    return generators.ladder(max(1, size // 2))
+
+
+def _stars(size: int, seed: int) -> nx.Graph:
+    return generators.star(size)
+
+def _spiders(size: int, seed: int) -> nx.Graph:
+    return generators.spider(max(1, size // 4), 4)
+
+
+def _ding(size: int, seed: int) -> nx.Graph:
+    return random_ding_augmentation(max(2, size // 8), max(1, size // 10), seed)
+
+
+def _fan_flowers(size: int, seed: int) -> nx.Graph:
+    return fan_flower(max(1, size // 8), 5)
+
+
+def _clique_pendants(size: int, seed: int) -> nx.Graph:
+    return generators.clique_with_pendants(max(2, size // 2))
+
+
+FAMILIES: dict[str, Family] = {
+    family.name: family
+    for family in [
+        Family("path", "trees (K_3)", 2, _paths),
+        Family("tree", "trees (K_3)", 2, _trees),
+        Family("star", "K_{1,t}-minor-free", 2, _stars),
+        Family("spider", "trees (K_3)", 2, _spiders),
+        Family("cycle", "outerplanar (K_4, K_{2,3})", 3, _cycles),
+        Family("outerplanar", "outerplanar (K_4, K_{2,3})", 3, _outerplanar),
+        Family("fan", "outerplanar (K_4, K_{2,3})", 3, _fans),
+        Family("cactus", "outerplanar (K_4, K_{2,3})", 3, _cacti),
+        Family("ladder", "K_{2,t}-minor-free", 3, _ladders),
+        Family("ding", "K_{2,t}-minor-free", 8, _ding),
+        Family("fan_flower", "K_{2,t}-minor-free", 4, _fan_flowers),
+        # clique_with_pendants on k vertices is K_{2,k+?}-rich; used as the
+        # Section 4 motivating example, t tracks the clique size via `size`.
+        Family("clique_pendants", "Section 4 example", 0, _clique_pendants),
+    ]
+}
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name, with a helpful error on typos."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown family {name!r}; known: {known}") from None
+
+
+def table1_rows() -> dict[str, list[Family]]:
+    """Group families by the Table 1 row they exercise."""
+    rows: dict[str, list[Family]] = {}
+    for family in FAMILIES.values():
+        rows.setdefault(family.table_row, []).append(family)
+    return rows

@@ -1,0 +1,296 @@
+"""Deterministic generators for the graph families used in the paper.
+
+Every family in Table 1 and in the proofs/examples of the paper has a
+generator here:
+
+* trees, paths, cycles, stars, spiders, caterpillars (Table 1 row 1);
+* fans and maximal outerplanar graphs (Table 1 row 2; Section 5.4);
+* theta graphs and books (the canonical ``K_{2,t}``-minor witnesses);
+* the clique-with-pendants example of Section 4 (unbounded 2-cut count
+  with ``MDS = 1``);
+* long cycles (every vertex is a local 1-cut, none is a global one);
+* wheels, grids, complete and complete-bipartite graphs as *positive*
+  minor controls.
+
+All generators label vertices ``0..n−1`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def path(n: int) -> nx.Graph:
+    """Path on ``n`` vertices; ``K_{2,t}``-minor-free for every ``t ≥ 1``."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    return nx.path_graph(n)
+
+
+def cycle(n: int) -> nx.Graph:
+    """Cycle on ``n ≥ 3`` vertices; ``K_{2,3}``-minor-free.
+
+    In a long cycle every vertex is an r-local 1-cut (for ``2r + 1 < n``)
+    while no vertex is a global cut vertex — the paper's motivating
+    example for why local cuts outnumber global ones.
+    """
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return nx.cycle_graph(n)
+
+
+def star(n: int) -> nx.Graph:
+    """Star ``K_{1,n−1}``: one hub, ``n − 1`` leaves."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    return nx.star_graph(n - 1)
+
+
+def spider(legs: int, leg_length: int) -> nx.Graph:
+    """Spider: ``legs`` paths of ``leg_length`` edges glued at a center."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("spider needs positive legs and leg_length")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_label = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            graph.add_edge(previous, next_label)
+            previous = next_label
+            next_label += 1
+    return graph
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> nx.Graph:
+    """Caterpillar: a spine path with pendant leaves on every spine vertex."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise ValueError("spine must be positive, legs_per_vertex non-negative")
+    graph = nx.path_graph(spine)
+    next_label = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            graph.add_edge(v, next_label)
+            next_label += 1
+    return graph
+
+
+def complete_binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth (depth 0 = single vertex)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    if depth == 0:
+        graph = nx.Graph()
+        graph.add_node(0)
+        return graph
+    return nx.balanced_tree(2, depth)
+
+
+def fan(n: int) -> nx.Graph:
+    """Fan ``F_n``: path ``1..n`` plus an apex ``0`` adjacent to all of it.
+
+    Fans are maximal outerplanar, hence ``K_{2,3}``-minor-free; they are
+    one of the two building blocks of Ding's structure theorem
+    (Section 5.4).
+    """
+    if n < 1:
+        raise ValueError("fan needs at least one path vertex")
+    graph = nx.path_graph(range(1, n + 1))
+    graph.add_node(0)
+    for v in range(1, n + 1):
+        graph.add_edge(0, v)
+    return graph
+
+
+def wheel(n: int) -> nx.Graph:
+    """Wheel ``W_n``: cycle of length ``n`` plus a hub.
+
+    Wheels *do* contain large ``K_{2,t}`` minors (hub + one rim vertex as
+    hubs), making them a positive control for the minor detector.
+    """
+    if n < 3:
+        raise ValueError("wheel rim needs at least 3 vertices")
+    return nx.wheel_graph(n + 1)
+
+
+def theta(path_count: int, path_length: int) -> nx.Graph:
+    """Theta graph: two terminals joined by ``path_count`` disjoint paths.
+
+    ``theta(t, ℓ)`` contains ``K_{2,t}`` as a minor (contract each path),
+    and nothing larger — the minimal witness family.
+    """
+    if path_count < 2 or path_length < 1:
+        raise ValueError("need at least 2 paths of length >= 1")
+    if path_count > 1 and path_length == 1:
+        # parallel edges collapse in a simple graph
+        raise ValueError("path_length must be >= 2 for parallel paths")
+    graph = nx.Graph()
+    a, b = 0, 1
+    next_label = 2
+    for _ in range(path_count):
+        previous = a
+        for _ in range(path_length - 1):
+            graph.add_edge(previous, next_label)
+            previous = next_label
+            next_label += 1
+        graph.add_edge(previous, b)
+    return graph
+
+
+def book(pages: int) -> nx.Graph:
+    """Book ``B_pages``: an edge ``{0, 1}`` plus ``pages`` common neighbors.
+
+    ``book(t)`` contains ``K_{2,t}`` as a subgraph — the smallest
+    subgraph-witness.
+    """
+    if pages < 1:
+        raise ValueError("book needs at least one page")
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    for i in range(pages):
+        graph.add_edge(0, 2 + i)
+        graph.add_edge(1, 2 + i)
+    return graph
+
+
+def clique_with_pendants(n: int) -> nx.Graph:
+    """The Section 4 example: clique ``K_n`` plus a pendant ``x_{uv}`` per pair.
+
+    Vertex ``0`` dominates everything (``MDS = 1``) yet every clique
+    vertex lies in a minimal 2-cut ``{0, v}`` separating the pendant
+    ``x_{0v}`` — the paper's witness that *all* 2-cut vertices cannot be
+    taken, motivating interesting vertices.  Pendants are attached to
+    pairs ``{0, v}`` exactly as in the paper.
+    """
+    if n < 2:
+        raise ValueError("clique needs at least 2 vertices")
+    graph = nx.complete_graph(n)
+    next_label = n
+    for v in range(1, n):
+        graph.add_edge(0, next_label)
+        graph.add_edge(v, next_label)
+        next_label += 1
+    return graph
+
+
+def maximal_outerplanar(n: int) -> nx.Graph:
+    """Maximal outerplanar graph: polygon ``0..n−1`` triangulated as a fan.
+
+    Outerplanar graphs are exactly the ``{K_4, K_{2,3}}``-minor-free
+    graphs (Table 1 row 2).
+    """
+    if n < 3:
+        raise ValueError("needs at least 3 vertices")
+    graph = nx.cycle_graph(n)
+    for v in range(2, n - 1):
+        graph.add_edge(0, v)
+    return graph
+
+
+def cactus_chain(cycles: int, cycle_length: int) -> nx.Graph:
+    """Chain of ``cycles`` cycles of length ``cycle_length`` sharing cut vertices.
+
+    Cacti contain no theta subdivision, hence are ``K_{2,3}``-minor-free;
+    they are maximally rich in 1-cuts, stressing Lemma 3.2.
+    """
+    if cycles < 1 or cycle_length < 3:
+        raise ValueError("need at least one cycle of length >= 3")
+    graph = nx.Graph()
+    anchor = 0
+    graph.add_node(anchor)
+    next_label = 1
+    for _ in range(cycles):
+        previous = anchor
+        first_new = next_label
+        for _ in range(cycle_length - 1):
+            graph.add_edge(previous, next_label)
+            previous = next_label
+            next_label += 1
+        graph.add_edge(previous, anchor)
+        anchor = first_new + (cycle_length - 1) // 2
+    return graph
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """Grid graph (planar, contains large ``K_{2,t}`` minors when wide)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    graph = nx.grid_2d_graph(rows, cols)
+    mapping = {(i, j): i * cols + j for i in range(rows) for j in range(cols)}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def complete(n: int) -> nx.Graph:
+    """Complete graph ``K_n``; ``K_{2,t}``-minor-free iff ``n ≤ t + 1``."""
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    return nx.complete_graph(n)
+
+
+def complete_bipartite(s: int, t: int) -> nx.Graph:
+    """``K_{s,t}`` itself (the excluded pattern for ``s = 2``)."""
+    if s < 1 or t < 1:
+        raise ValueError("parts must be non-empty")
+    return nx.complete_bipartite_graph(s, t)
+
+
+def ladder(n: int) -> nx.Graph:
+    """Ladder ``P_2 × P_n``: rails ``u_i = 2i`` and ``v_i = 2i + 1``.
+
+    Ladders are the simplest of Ding's *strips* (Section 5.4): every rung
+    ``{u_i, v_i}`` away from the ends is a minimal 2-cut whose two sides
+    both contain vertices non-adjacent to either cut vertex, so rung
+    vertices are interesting — the ideal stress test for Lemma 3.3.
+    """
+    if n < 1:
+        raise ValueError("ladder needs at least one rung")
+    graph = nx.Graph()
+    for i in range(n):
+        graph.add_edge(2 * i, 2 * i + 1)
+        if i + 1 < n:
+            graph.add_edge(2 * i, 2 * (i + 1))
+            graph.add_edge(2 * i + 1, 2 * (i + 1) + 1)
+    return graph
+
+
+def fan_chain(blocks: int, fan_size: int) -> nx.Graph:
+    """Chain of fans glued at single shared vertices (many 1-cuts).
+
+    Each glue vertex is a cut vertex; the blocks between them are
+    2-connected fans, so the block-cut machinery and the brute-force
+    step of Algorithm 1 are both exercised.
+    """
+    if blocks < 1 or fan_size < 2:
+        raise ValueError("need at least one block and fan_size >= 2")
+    graph = nx.Graph()
+    next_label = 0
+    anchor: int | None = None
+    for _ in range(blocks):
+        apex = anchor if anchor is not None else next_label
+        if anchor is None:
+            next_label += 1
+        previous = None
+        for _ in range(fan_size):
+            v = next_label
+            next_label += 1
+            graph.add_edge(apex, v)
+            if previous is not None:
+                graph.add_edge(previous, v)
+            previous = v
+        anchor = previous
+    return graph
+
+
+def long_cycle_with_chords(n: int, chord_gap: int) -> nx.Graph:
+    """Cycle ``C_n`` plus short chords ``{i, i + chord_gap}`` every ``chord_gap``.
+
+    A type-I-like graph (Section 5.4): chords are non-crossing and short,
+    keeping the graph ``K_{2,4}``-minor-free while killing many local
+    1-cuts.
+    """
+    if n < 3 or chord_gap < 2 or chord_gap >= n:
+        raise ValueError("need n >= 3 and 2 <= chord_gap < n")
+    graph = nx.cycle_graph(n)
+    for i in range(0, n - chord_gap, chord_gap):
+        graph.add_edge(i, i + chord_gap)
+    return graph

@@ -1,0 +1,156 @@
+"""Local cuts (Definition 2.1) and interesting vertices (Sections 3–4).
+
+A set ``C`` is an *r-local k-cut* of ``G`` when
+
+* the vertices of ``C`` are pairwise at distance at most ``r`` in ``G``, and
+* ``C`` is a k-cut of ``H = G[∪_{v∈C} N^r[v]]``.
+
+All cuts considered by the paper's algorithms are *minimal* (no proper
+subset of the cut is also a cut of ``H``); for a 2-cut ``{u, v}`` this
+means neither ``u`` nor ``v`` alone disconnects ``H``.
+
+A vertex ``v`` is *r-interesting* (``r ≥ 2``) when there is an r-local
+2-cut ``c = {u, v}`` with
+
+* ``N[v] ⊄ N[u]``, and
+* at least two connected components of ``G[N^r[c]] − c`` each contain a
+  vertex non-adjacent to ``u``.
+
+These predicates are all decidable from radius-``r + 1`` views, which is
+what makes the paper's Algorithm 1 a LOCAL algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.cuts import is_cut, is_minimal_cut
+from repro.graphs.util import ball, ball_of_set, closed_neighborhood
+
+Vertex = Hashable
+
+
+def local_cut_subgraph(graph: nx.Graph, cut: set[Vertex], r: int) -> nx.Graph:
+    """Return ``H = G[∪_{v∈C} N^r[v]]``, the arena of the local-cut test."""
+    return graph.subgraph(ball_of_set(graph, cut, r))
+
+
+def is_local_one_cut(graph: nx.Graph, v: Vertex, r: int) -> bool:
+    """Return whether ``{v}`` is an r-local (minimal) 1-cut of ``graph``."""
+    arena = local_cut_subgraph(graph, {v}, r)
+    return is_cut(arena, {v})
+
+
+def local_one_cuts(graph: nx.Graph, r: int) -> set[Vertex]:
+    """Return all vertices that form r-local minimal 1-cuts of ``graph``."""
+    return {v for v in graph.nodes if is_local_one_cut(graph, v, r)}
+
+
+def is_local_two_cut(graph: nx.Graph, u: Vertex, v: Vertex, r: int, *, minimal: bool = True) -> bool:
+    """Return whether ``{u, v}`` is an r-local 2-cut of ``graph``.
+
+    With ``minimal=True`` (the algorithm's setting) the pair must be a
+    minimal cut of the local arena: neither endpoint alone may disconnect
+    it.
+    """
+    if u == v:
+        return False
+    if v not in ball(graph, u, r):
+        return False
+    cut = {u, v}
+    arena = local_cut_subgraph(graph, cut, r)
+    if minimal:
+        return is_minimal_cut(arena, cut)
+    return is_cut(arena, cut)
+
+
+def local_two_cuts(graph: nx.Graph, r: int, *, minimal: bool = True) -> list[frozenset[Vertex]]:
+    """Enumerate all r-local (minimal) 2-cuts of ``graph``.
+
+    Pairs are drawn from ``{(u, v) : v ∈ N^r[u]}``; each is tested in its
+    own arena.  Runtime is O(n · |ball|) cut tests, adequate for the
+    simulator scales used in experiments.
+    """
+    seen: set[frozenset[Vertex]] = set()
+    result: list[frozenset[Vertex]] = []
+    for u in sorted(graph.nodes, key=repr):
+        for v in sorted(ball(graph, u, r), key=repr):
+            if v == u:
+                continue
+            pair = frozenset({u, v})
+            if pair in seen:
+                continue
+            seen.add(pair)
+            if is_local_two_cut(graph, u, v, r, minimal=minimal):
+                result.append(pair)
+    return result
+
+
+def is_locally_k_connected(graph: nx.Graph, r: int, k: int) -> bool:
+    """Return whether ``graph`` has no r-local k-cuts (Definition 2.1)."""
+    if k == 1:
+        return not any(is_local_one_cut(graph, v, r) for v in graph.nodes)
+    if k == 2:
+        return not local_two_cuts(graph, r, minimal=False)
+    raise ValueError("local connectivity implemented for k in {1, 2} only")
+
+
+def _certifies_interesting(graph: nx.Graph, u: Vertex, v: Vertex, r: int) -> bool:
+    """Check the two interesting-ness conditions for the ordered pair.
+
+    ``v`` is the candidate interesting vertex; ``u`` is its cut partner.
+    """
+    n_u = closed_neighborhood(graph, u)
+    n_v = closed_neighborhood(graph, v)
+    if n_v <= n_u:  # first condition: N[v] ⊄ N[u]
+        return False
+    arena = local_cut_subgraph(graph, {u, v}, r)
+    rest = set(arena.nodes) - {u, v}
+    witnesses = 0
+    for comp in nx.connected_components(arena.subgraph(rest)):
+        if any(w not in n_u for w in comp):
+            witnesses += 1
+            if witnesses >= 2:
+                return True
+    return False
+
+
+def is_interesting_vertex(graph: nx.Graph, v: Vertex, r: int) -> bool:
+    """Return whether ``v`` is r-interesting (Section 4 definition).
+
+    Scans all partners ``u ∈ N^r[v]`` for a certifying minimal r-local
+    2-cut ``{u, v}``.
+    """
+    for u in sorted(ball(graph, v, r), key=repr):
+        if u == v:
+            continue
+        if not is_local_two_cut(graph, u, v, r, minimal=True):
+            continue
+        if _certifies_interesting(graph, u, v, r):
+            return True
+    return False
+
+
+def interesting_vertices(graph: nx.Graph, r: int) -> set[Vertex]:
+    """Return all r-interesting vertices of ``graph``."""
+    return {v for v in graph.nodes if is_interesting_vertex(graph, v, r)}
+
+
+def interesting_vertices_of_cuts(
+    graph: nx.Graph, cuts: list[frozenset[Vertex]], r: int
+) -> set[Vertex]:
+    """Restrict interesting-vertex detection to a precomputed cut list.
+
+    Faster than :func:`interesting_vertices` when the local 2-cuts are
+    already known (the algorithm computes them anyway).
+    """
+    result: set[Vertex] = set()
+    for cut in cuts:
+        u, v = sorted(cut, key=repr)
+        if v not in result and _certifies_interesting(graph, u, v, r):
+            result.add(v)
+        if u not in result and _certifies_interesting(graph, v, u, r):
+            result.add(u)
+    return result

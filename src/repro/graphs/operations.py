@@ -1,0 +1,94 @@
+"""Graph surgery used to build stress instances and counterexamples.
+
+Minor-freeness behaves predictably under these operations, so they are
+the safe toolbox for growing test instances:
+
+* :func:`subdivide` — replacing edges by paths never creates a new
+  ``K_{2,t}`` minor (subdivision preserves topological structure);
+* :func:`attach_pendants` — degree-1 additions are minor-inert;
+* :func:`bridge_join` — joining two graphs by a single edge keeps both
+  sides' largest ``K_{2,t}`` minors (a bridge sits in no cycle);
+* :func:`graph_power` — ``G^k`` (used by the r-component definition);
+* :func:`disjoint_union_relabel` — integer-relabelled disjoint union.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.util import ball
+
+Vertex = Hashable
+
+
+def _next_label(graph: nx.Graph) -> int:
+    return max((v for v in graph.nodes if isinstance(v, int)), default=-1) + 1
+
+
+def subdivide(graph: nx.Graph, times: int = 1) -> nx.Graph:
+    """Subdivide every edge ``times`` times (0 returns a copy)."""
+    if times < 0:
+        raise ValueError("times must be non-negative")
+    result = graph.copy()
+    for _ in range(times):
+        fresh = nx.Graph()
+        fresh.add_nodes_from(result.nodes)
+        label = _next_label(result)
+        for u, v in sorted(result.edges, key=repr):
+            fresh.add_edge(u, label)
+            fresh.add_edge(label, v)
+            label += 1
+        result = fresh
+    return result
+
+
+def attach_pendants(graph: nx.Graph, count_per_vertex: int = 1) -> nx.Graph:
+    """Attach ``count_per_vertex`` fresh leaves to every vertex."""
+    if count_per_vertex < 0:
+        raise ValueError("count must be non-negative")
+    result = graph.copy()
+    label = _next_label(result)
+    for v in sorted(graph.nodes, key=repr):
+        for _ in range(count_per_vertex):
+            result.add_edge(v, label)
+            label += 1
+    return result
+
+
+def bridge_join(left: nx.Graph, right: nx.Graph) -> nx.Graph:
+    """Disjoint union of two graphs plus one bridge between their minima."""
+    joined, offset = disjoint_union_relabel(left, right)
+    left_anchor = min(v for v in joined.nodes if v < offset)
+    right_anchor = min(v for v in joined.nodes if v >= offset)
+    joined.add_edge(left_anchor, right_anchor)
+    return joined
+
+
+def disjoint_union_relabel(left: nx.Graph, right: nx.Graph) -> tuple[nx.Graph, int]:
+    """Union with the right side's labels shifted; returns (graph, offset)."""
+    left_sorted = sorted(left.nodes, key=repr)
+    right_sorted = sorted(right.nodes, key=repr)
+    left_map = {v: i for i, v in enumerate(left_sorted)}
+    offset = len(left_sorted)
+    right_map = {v: offset + i for i, v in enumerate(right_sorted)}
+    joined = nx.Graph()
+    joined.add_nodes_from(left_map.values())
+    joined.add_nodes_from(right_map.values())
+    joined.add_edges_from((left_map[u], left_map[v]) for u, v in left.edges)
+    joined.add_edges_from((right_map[u], right_map[v]) for u, v in right.edges)
+    return joined, offset
+
+
+def graph_power(graph: nx.Graph, k: int) -> nx.Graph:
+    """``G^k``: edges between all pairs at distance 1..k (Section 3)."""
+    if k < 1:
+        raise ValueError("power must be >= 1")
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    for v in graph.nodes:
+        for u in ball(graph, v, k):
+            if u != v:
+                result.add_edge(v, u)
+    return result

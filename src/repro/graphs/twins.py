@@ -1,0 +1,94 @@
+"""True-twin detection and removal (Section 2 of the paper).
+
+Two distinct vertices ``u`` and ``v`` are *true twins* when
+``N[u] = N[v]`` (in particular they are adjacent).  The *true-twin-less
+graph* ``G⁻`` associated to ``G`` keeps exactly one representative of
+every true-twin class; the paper notes that ``MDS(G⁻) = MDS(G)`` and that
+``G⁻`` is computable in a constant number of LOCAL rounds (each vertex
+learns its neighbors' closed neighborhoods in 2 rounds and the
+lowest-identifier twin survives).
+
+We mirror that determinism: the representative of each class is the
+minimum vertex under sorted-repr order, so distributed and centralized
+computations agree.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.util import closed_neighborhood
+
+Vertex = Hashable
+
+
+def true_twin_classes(graph: nx.Graph) -> list[set[Vertex]]:
+    """Group the vertices of ``graph`` into true-twin equivalence classes.
+
+    Vertices with a unique closed neighborhood form singleton classes.
+    The result is deterministic: classes are sorted by their representative.
+    """
+    buckets: dict[frozenset[Vertex], set[Vertex]] = {}
+    for v in graph.nodes:
+        key = frozenset(closed_neighborhood(graph, v))
+        buckets.setdefault(key, set()).add(v)
+    classes = list(buckets.values())
+    classes.sort(key=lambda cls: repr(min(cls, key=repr)))
+    return classes
+
+
+def has_true_twins(graph: nx.Graph) -> bool:
+    """Return whether ``graph`` contains at least one true-twin pair."""
+    return any(len(cls) > 1 for cls in true_twin_classes(graph))
+
+
+def twin_representative(cls: set[Vertex]) -> Vertex:
+    """Deterministic representative of a twin class (min by repr order)."""
+    return min(cls, key=repr)
+
+
+def remove_true_twins(graph: nx.Graph) -> tuple[nx.Graph, dict[Vertex, Vertex]]:
+    """Return ``(G⁻, representative_map)``.
+
+    ``G⁻`` is the induced subgraph of ``graph`` on one representative per
+    true-twin class, iterated until no true twins remain (removing twins
+    can create new ones, e.g. in a clique).  ``representative_map`` sends
+    every original vertex to the vertex of ``G⁻`` that represents it.
+
+    ``MDS(G⁻) = MDS(G)``: a dominating set of ``G⁻`` dominates ``G``
+    because a removed twin has the same closed neighborhood as its
+    representative.
+    """
+    mapping = {v: v for v in graph.nodes}
+    current = graph.copy()
+    while True:
+        classes = true_twin_classes(current)
+        removable = [cls for cls in classes if len(cls) > 1]
+        if not removable:
+            break
+        for cls in removable:
+            rep = twin_representative(cls)
+            for v in cls:
+                if v != rep:
+                    current.remove_node(v)
+                    mapping[v] = rep
+    # Path-compress: map original vertices through chains of removals.
+    for v in list(mapping):
+        rep = mapping[v]
+        while mapping[rep] != rep:
+            rep = mapping[rep]
+        mapping[v] = rep
+    return current, mapping
+
+
+def lift_dominating_set(dominating_set: set[Vertex], graph: nx.Graph) -> set[Vertex]:
+    """Interpret a dominating set of ``G⁻`` as a dominating set of ``G``.
+
+    Because every removed vertex is a true twin of its representative, the
+    set itself already dominates ``G``; this helper exists for symmetry and
+    validates the claim (callers may assert with
+    :func:`repro.analysis.domination.is_dominating_set`).
+    """
+    return set(dominating_set)

@@ -1,0 +1,189 @@
+"""Neighborhood, ball, and diameter utilities shared across the library.
+
+The paper's notation (Section 2):
+
+* ``N[v]`` — the closed neighborhood of ``v``;
+* ``N^r[v]`` — all vertices at distance at most ``r`` from ``v``;
+* *weak diameter* of ``S ⊆ V(G)`` — the largest distance **in G** between
+  two vertices of ``S`` (distances are not restricted to ``G[S]``);
+* an *r-component* of ``S`` — a maximal subset of ``S`` in which consecutive
+  vertices can be linked by hops of length at most ``r`` in ``G``
+  (equivalently: a connected component of the r-th power of ``G`` restricted
+  to ``S``);
+* ``S`` is *D-bounded* when its weak diameter is at most ``D``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def closed_neighborhood(graph: nx.Graph, v: Vertex) -> set[Vertex]:
+    """Return ``N[v]``, the closed neighborhood of ``v`` in ``graph``."""
+    result = set(graph.neighbors(v))
+    result.add(v)
+    return result
+
+
+def closed_neighborhood_of_set(graph: nx.Graph, vertices: Iterable[Vertex]) -> set[Vertex]:
+    """Return ``N[S] = S ∪ {u : u adjacent to some v in S}``."""
+    result: set[Vertex] = set()
+    for v in vertices:
+        result.add(v)
+        result.update(graph.neighbors(v))
+    return result
+
+
+def ball(graph: nx.Graph, center: Vertex, radius: int) -> set[Vertex]:
+    """Return ``N^r[center]``: all vertices at distance at most ``radius``.
+
+    Implemented as a truncated breadth-first search; ``radius = 0`` returns
+    ``{center}`` and negative radii return the empty set.
+    """
+    if radius < 0:
+        return set()
+    seen = {center}
+    frontier = deque([(center, 0)])
+    while frontier:
+        vertex, dist = frontier.popleft()
+        if dist == radius:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, dist + 1))
+    return seen
+
+
+def ball_of_set(graph: nx.Graph, centers: Iterable[Vertex], radius: int) -> set[Vertex]:
+    """Return ``N^r[S] = ∪_{v∈S} N^r[v]`` via one multi-source BFS."""
+    if radius < 0:
+        return set()
+    seen = set(centers)
+    frontier = deque((v, 0) for v in seen)
+    while frontier:
+        vertex, dist = frontier.popleft()
+        if dist == radius:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, dist + 1))
+    return seen
+
+
+def induced_ball(graph: nx.Graph, center: Vertex, radius: int) -> nx.Graph:
+    """Return the induced subgraph ``G[N^r[center]]``."""
+    return graph.subgraph(ball(graph, center, radius)).copy()
+
+
+def induced_ball_of_set(graph: nx.Graph, centers: Iterable[Vertex], radius: int) -> nx.Graph:
+    """Return the induced subgraph ``G[∪_{v∈S} N^r[v]]``."""
+    return graph.subgraph(ball_of_set(graph, centers, radius)).copy()
+
+
+def distances_from(graph: nx.Graph, source: Vertex, cutoff: int | None = None) -> dict[Vertex, int]:
+    """Return BFS distances from ``source``, optionally truncated at ``cutoff``."""
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        d = dist[vertex]
+        if cutoff is not None and d == cutoff:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in dist:
+                dist[neighbor] = d + 1
+                frontier.append(neighbor)
+    return dist
+
+
+def weak_diameter(graph: nx.Graph, vertices: Iterable[Vertex]) -> int:
+    """Return the weak diameter of ``vertices``: max distance in ``graph``.
+
+    Raises ``ValueError`` when two vertices of the set lie in different
+    connected components of ``graph`` (their distance is infinite).
+    """
+    vertex_list = list(vertices)
+    if len(vertex_list) <= 1:
+        return 0
+    best = 0
+    targets = set(vertex_list)
+    for v in vertex_list:
+        dist = distances_from(graph, v)
+        for u in targets:
+            if u not in dist:
+                raise ValueError(f"vertices {v!r} and {u!r} are disconnected in G")
+            if dist[u] > best:
+                best = dist[u]
+    return best
+
+
+def is_d_bounded(graph: nx.Graph, vertices: Iterable[Vertex], bound: int) -> bool:
+    """Return whether the weak diameter of ``vertices`` is at most ``bound``."""
+    try:
+        return weak_diameter(graph, vertices) <= bound
+    except ValueError:
+        return False
+
+
+def r_components(graph: nx.Graph, vertices: Iterable[Vertex], r: int) -> list[set[Vertex]]:
+    """Split ``vertices`` into its r-components (Section 3 of the paper).
+
+    Two vertices of the set are in the same r-component when they are
+    linked by a chain of set vertices with consecutive distances (in the
+    full graph ``G``) at most ``r``.
+    """
+    remaining = set(vertices)
+    components: list[set[Vertex]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = deque([seed])
+        remaining.discard(seed)
+        while frontier:
+            vertex = frontier.popleft()
+            nearby = ball(graph, vertex, r) & remaining
+            for other in nearby:
+                component.add(other)
+                remaining.discard(other)
+                frontier.append(other)
+        components.append(component)
+    return components
+
+
+def graph_power_components(graph: nx.Graph, vertices: set[Vertex], r: int) -> list[set[Vertex]]:
+    """Alias of :func:`r_components` matching the G^r phrasing of the paper."""
+    return r_components(graph, vertices, r)
+
+
+def connected_components_of_subset(graph: nx.Graph, vertices: Iterable[Vertex]) -> list[set[Vertex]]:
+    """Connected components of the induced subgraph ``G[vertices]``."""
+    sub = graph.subgraph(set(vertices))
+    return [set(c) for c in nx.connected_components(sub)]
+
+
+def eccentricity_within(graph: nx.Graph, vertices: set[Vertex], v: Vertex) -> int:
+    """Max distance in ``graph`` from ``v`` to any vertex of ``vertices``."""
+    dist = distances_from(graph, v)
+    worst = 0
+    for u in vertices:
+        if u not in dist:
+            raise ValueError(f"vertex {u!r} unreachable from {v!r}")
+        worst = max(worst, dist[u])
+    return worst
+
+
+def relabel_to_integers(graph: nx.Graph) -> tuple[nx.Graph, dict[Vertex, int]]:
+    """Relabel vertices to ``0..n-1`` (sorted by repr for determinism).
+
+    Returns the relabelled graph and the old-to-new mapping.
+    """
+    ordering = sorted(graph.nodes, key=repr)
+    mapping = {old: i for i, old in enumerate(ordering)}
+    return nx.relabel_nodes(graph, mapping, copy=True), mapping

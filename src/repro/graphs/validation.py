@@ -1,0 +1,38 @@
+"""Generator sanity guards: invariants every produced graph must satisfy."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.minors import edge_density_certificate, largest_k2t_minor_singleton_hubs
+
+
+def check_simple_connected(graph: nx.Graph) -> None:
+    """Raise ``ValueError`` unless the graph is simple, loopless, connected."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph is empty")
+    if any(u == v for u, v in graph.edges):
+        raise ValueError("graph has a self-loop")
+    if graph.is_multigraph():
+        raise ValueError("graph is a multigraph")
+    if not nx.is_connected(graph):
+        raise ValueError("graph is disconnected")
+
+
+def check_k2t_free_fast(graph: nx.Graph, t: int) -> None:
+    """Raise if a fast certificate shows a ``K_{2,t}`` minor.
+
+    Uses the density bound and the singleton-hub flow detector — both
+    one-sided (no false alarms).  The exact check lives in the tests.
+    """
+    if edge_density_certificate(graph, t):
+        raise ValueError(f"edge density forces a K_2,{t} minor")
+    if largest_k2t_minor_singleton_hubs(graph) >= t:
+        raise ValueError(f"singleton-hub detector found a K_2,{t} minor")
+
+
+def assert_vertices_are_integers(graph: nx.Graph) -> None:
+    """The LOCAL simulator requires hashable, orderable ids; we use ints."""
+    for v in graph.nodes:
+        if not isinstance(v, int):
+            raise ValueError(f"vertex {v!r} is not an int")

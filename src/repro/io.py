@@ -1,0 +1,119 @@
+"""Instance and result persistence (JSON, no external deps).
+
+Experiments should be replayable from artifacts: this module serialises
+graphs, algorithm results, and sweep tables to a stable JSON layout.
+
+* graphs — ``{"nodes": [...], "edges": [[u, v], ...], "meta": {...}}``
+  with sorted nodes/edges so files are diff-able;
+* results — name/solution/rounds/phases/metadata;
+* corpora — a directory of instances addressed by family/size/seed,
+  written by :func:`write_corpus` and reloaded by :func:`read_corpus`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+import networkx as nx
+
+from repro.core.results import AlgorithmResult
+
+
+def graph_to_dict(graph: nx.Graph, meta: dict | None = None) -> dict:
+    """JSON-ready dict for a graph (integer-labelled)."""
+    return {
+        "nodes": sorted(graph.nodes),
+        "edges": sorted([sorted(e) for e in graph.edges]),
+        "meta": dict(meta or {}),
+    }
+
+
+def graph_from_dict(data: dict) -> nx.Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = nx.Graph()
+    graph.add_nodes_from(data["nodes"])
+    graph.add_edges_from((u, v) for u, v in data["edges"])
+    return graph
+
+
+def save_graph(graph: nx.Graph, path: str | Path, meta: dict | None = None) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph, meta), indent=1))
+
+
+def load_graph(path: str | Path) -> nx.Graph:
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def result_to_dict(result: AlgorithmResult) -> dict:
+    """JSON-ready dict for an algorithm result."""
+    return {
+        "name": result.name,
+        "solution": sorted(result.solution, key=repr),
+        "rounds": result.rounds,
+        "phases": {k: sorted(v, key=repr) for k, v in result.phases.items()},
+        "round_breakdown": dict(result.round_breakdown),
+        "metadata": {k: v for k, v in result.metadata.items() if _jsonable(v)},
+    }
+
+
+def result_from_dict(data: dict) -> AlgorithmResult:
+    return AlgorithmResult(
+        name=data["name"],
+        solution=set(data["solution"]),
+        rounds=data["rounds"],
+        phases={k: set(v) for k, v in data.get("phases", {}).items()},
+        round_breakdown=dict(data.get("round_breakdown", {})),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def _jsonable(value: object) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def save_rows(rows: list[dict], path: str | Path) -> None:
+    """Persist a sweep table (list of uniform dicts)."""
+    Path(path).write_text(json.dumps(rows, indent=1, default=str))
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    return json.loads(Path(path).read_text())
+
+
+def write_corpus(
+    directory: str | Path,
+    family_names: Iterable[str],
+    sizes: Iterable[int],
+    seeds: Iterable[int] = (0,),
+) -> list[Path]:
+    """Materialise a corpus of instances on disk; returns written paths."""
+    from repro.graphs.families import get_family
+
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in family_names:
+        family = get_family(name)
+        for size in sizes:
+            for seed in seeds:
+                graph = family.make(size, seed)
+                meta = {"family": name, "size": size, "seed": seed}
+                path = root / f"{name}_n{size}_s{seed}.json"
+                save_graph(graph, path, meta)
+                written.append(path)
+    return written
+
+
+def read_corpus(directory: str | Path) -> list[tuple[dict, nx.Graph]]:
+    """Load every instance of a corpus as (meta, graph) pairs."""
+    out = []
+    for path in sorted(Path(directory).glob("*.json")):
+        data = json.loads(path.read_text())
+        out.append((data.get("meta", {}), graph_from_dict(data)))
+    return out

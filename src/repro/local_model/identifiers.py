@@ -1,0 +1,54 @@
+"""Identifier assignment schemes for the LOCAL simulator.
+
+The model grants each processor a unique ``O(log n)``-bit identifier.
+Deterministic LOCAL algorithms must work for *every* assignment, so the
+test-suite runs the paper's algorithms under several schemes:
+
+* :func:`identity_ids` — vertex label = identifier;
+* :func:`shuffled_ids` — a seeded random permutation (adversarial-ish);
+* :func:`spread_ids` — non-contiguous identifiers (multiples of a
+  stride), checking that nothing assumes ids form ``0..n−1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def identity_ids(graph: nx.Graph) -> dict[Vertex, int]:
+    """Assign each integer-labelled vertex its own label as identifier."""
+    ids = {}
+    for i, v in enumerate(sorted(graph.nodes, key=repr)):
+        ids[v] = v if isinstance(v, int) else i
+    _check_unique(ids)
+    return ids
+
+
+def shuffled_ids(graph: nx.Graph, seed: int = 0) -> dict[Vertex, int]:
+    """Assign a seeded random permutation of ``0..n−1``."""
+    vertices = sorted(graph.nodes, key=repr)
+    labels = list(range(len(vertices)))
+    random.Random(seed).shuffle(labels)
+    ids = dict(zip(vertices, labels))
+    _check_unique(ids)
+    return ids
+
+
+def spread_ids(graph: nx.Graph, stride: int = 7, offset: int = 13) -> dict[Vertex, int]:
+    """Assign non-contiguous identifiers ``offset + stride·i``."""
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    vertices = sorted(graph.nodes, key=repr)
+    ids = {v: offset + stride * i for i, v in enumerate(vertices)}
+    _check_unique(ids)
+    return ids
+
+
+def _check_unique(ids: dict[Vertex, int]) -> None:
+    if len(set(ids.values())) != len(ids):
+        raise ValueError("identifier assignment is not injective")

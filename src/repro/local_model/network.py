@@ -1,0 +1,73 @@
+"""The simulated network: nodes plus port-level connectivity."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.local_model.identifiers import identity_ids
+from repro.local_model.node import Node
+
+Vertex = Hashable
+
+
+class Network:
+    """Port-numbered network built from an undirected graph.
+
+    Port order is the sorted order of neighbor labels — any fixed order
+    is fine in the LOCAL model; sorting keeps simulations reproducible.
+    """
+
+    def __init__(self, graph: nx.Graph, ids: dict[Vertex, int] | None = None):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network needs at least one node")
+        if any(u == v for u, v in graph.edges):
+            raise ValueError("self-loops are not allowed")
+        self.graph = graph
+        self.ids = ids if ids is not None else identity_ids(graph)
+        if set(self.ids) != set(graph.nodes):
+            raise ValueError("identifier assignment must cover exactly V(G)")
+        if len(set(self.ids.values())) != len(self.ids):
+            raise ValueError("identifiers must be unique")
+        self.nodes: dict[Vertex, Node] = {}
+        for v in graph.nodes:
+            ports = sorted(graph.neighbors(v), key=repr)
+            self.nodes[v] = Node(vertex=v, uid=self.ids[v], ports=ports)
+        # port_back[v][u] = the port of u that leads back to v
+        self._port_of: dict[Vertex, dict[Vertex, int]] = {
+            v: {u: p for p, u in enumerate(node.ports)} for v, node in self.nodes.items()
+        }
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def port_toward(self, node: Vertex, neighbor: Vertex) -> int:
+        """The port of ``node`` whose link leads to ``neighbor``."""
+        return self._port_of[node][neighbor]
+
+    def deliver(self, outboxes: dict[Vertex, dict[int, object]]) -> int:
+        """Move queued messages into destination inboxes; returns count.
+
+        All deliveries are simultaneous (synchronous rounds): inboxes are
+        cleared first, then filled from the snapshot of outboxes.
+        """
+        for node in self.nodes.values():
+            node.inbox = {}
+        delivered = 0
+        for vertex, outbox in outboxes.items():
+            sender = self.nodes[vertex]
+            for port, payload in outbox.items():
+                neighbor = sender.ports[port]
+                back_port = self.port_toward(neighbor, vertex)
+                self.nodes[neighbor].inbox[back_port] = payload
+                delivered += 1
+        return delivered
+
+    def outputs(self) -> dict[Vertex, object]:
+        """Per-vertex outputs of halted nodes."""
+        return {v: node.output for v, node in self.nodes.items() if node.halted}
+
+    def uid_to_vertex(self) -> dict[int, Vertex]:
+        return {uid: v for v, uid in self.ids.items()}

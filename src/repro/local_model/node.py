@@ -1,0 +1,83 @@
+"""A simulated processor: identifier, ports, per-round mailboxes.
+
+A node initially knows only its own identifier and its *ports*
+(numbered 0..deg−1, one per incident link) — not its neighbors'
+identifiers; those must be learned by exchanging messages, exactly as in
+the model.  The vertex labels of the underlying graph are simulation
+bookkeeping and are never exposed to algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+Vertex = Hashable
+
+
+@dataclass
+class Node:
+    """Simulation-side state of one processor."""
+
+    vertex: Vertex
+    """Underlying graph vertex (simulator bookkeeping only)."""
+    uid: int
+    """The unique identifier the algorithm sees."""
+    ports: list[Vertex]
+    """Port p connects to ports[p]; algorithms see only port numbers."""
+    inbox: dict[int, Any] = field(default_factory=dict)
+    """Messages received this round, keyed by port."""
+    state: dict[str, Any] = field(default_factory=dict)
+    """Algorithm-private storage."""
+    output: Any = None
+    """Final per-node output once the algorithm halts."""
+    halted: bool = False
+
+    @property
+    def degree(self) -> int:
+        return len(self.ports)
+
+
+class NodeContext:
+    """The API surface an algorithm sees for one node — no graph access.
+
+    Exposes identifier, degree, per-round inbox (port → payload), and an
+    outbox.  Anything else (neighbor identifiers, topology) must be
+    learned through messages.
+    """
+
+    def __init__(self, node: Node):
+        self._node = node
+        self.outbox: dict[int, Any] = {}
+
+    @property
+    def uid(self) -> int:
+        return self._node.uid
+
+    @property
+    def degree(self) -> int:
+        return self._node.degree
+
+    @property
+    def inbox(self) -> dict[int, Any]:
+        return dict(self._node.inbox)
+
+    @property
+    def state(self) -> dict[str, Any]:
+        return self._node.state
+
+    def send(self, port: int, payload: Any) -> None:
+        """Queue a message on one port for delivery next round."""
+        if not 0 <= port < self._node.degree:
+            raise ValueError(f"node {self.uid} has no port {port}")
+        self.outbox[port] = payload
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue the same message on every port."""
+        for port in range(self._node.degree):
+            self.outbox[port] = payload
+
+    def halt(self, output: Any) -> None:
+        """Stop participating; ``output`` is the node's final answer."""
+        self._node.output = output
+        self._node.halted = True

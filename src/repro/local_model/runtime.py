@@ -1,0 +1,92 @@
+"""Synchronous scheduler for the LOCAL simulator.
+
+Executes a :class:`~repro.local_model.algorithm.LocalAlgorithm` on a
+:class:`~repro.local_model.network.Network`: every round, all nodes act
+on the previous round's inbox, then messages are delivered
+simultaneously.  The run ends when every node has halted (or the round
+limit trips, which raises — an algorithm that cannot bound its rounds is
+not a LOCAL algorithm).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.local_model.algorithm import LocalAlgorithm
+from repro.local_model.instrumentation import RoundStats, Trace, payload_size
+from repro.local_model.network import Network
+from repro.local_model.node import NodeContext
+
+Vertex = Hashable
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation."""
+
+    outputs: dict[Vertex, object]
+    """Per-vertex final outputs (vertex labels are simulator-side)."""
+    trace: Trace
+
+    @property
+    def rounds(self) -> int:
+        return self.trace.round_count
+
+
+class SynchronousRuntime:
+    """Drives one algorithm instance per node through synchronous rounds."""
+
+    def __init__(self, network: Network, max_rounds: int = 10_000):
+        self.network = network
+        self.max_rounds = max_rounds
+
+    def run(self, algorithm_factory: Callable[[], LocalAlgorithm]) -> RunResult:
+        """Run to completion; returns outputs and the round/message trace."""
+        algorithms = {v: algorithm_factory() for v in self.network.nodes}
+        trace = Trace()
+
+        # Initialisation (round 0 messages are queued here).
+        outboxes: dict[Vertex, dict[int, object]] = {}
+        for v, node in self.network.nodes.items():
+            ctx = NodeContext(node)
+            algorithms[v].on_init(ctx)
+            if ctx.outbox:
+                outboxes[v] = ctx.outbox
+
+        for round_index in range(1, self.max_rounds + 1):
+            if all(node.halted for node in self.network.nodes.values()):
+                break
+            messages = sum(len(box) for box in outboxes.values())
+            units = sum(
+                payload_size(payload)
+                for box in outboxes.values()
+                for payload in box.values()
+            )
+            self.network.deliver(outboxes)
+            trace.rounds.append(
+                RoundStats(round_index=round_index, messages=messages, payload_units=units)
+            )
+            outboxes = {}
+            for v, node in self.network.nodes.items():
+                if node.halted:
+                    continue
+                ctx = NodeContext(node)
+                algorithms[v].on_round(ctx)
+                if ctx.outbox and not node.halted:
+                    outboxes[v] = ctx.outbox
+        else:
+            raise RuntimeError(
+                f"algorithm did not halt within {self.max_rounds} rounds"
+            )
+        return RunResult(outputs=self.network.outputs(), trace=trace)
+
+
+def run_algorithm(
+    network: Network,
+    algorithm_factory: Callable[[], LocalAlgorithm],
+    max_rounds: int = 10_000,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`SynchronousRuntime`."""
+    return SynchronousRuntime(network, max_rounds=max_rounds).run(algorithm_factory)

@@ -1,0 +1,57 @@
+"""The knowledge object produced by view gathering.
+
+After ``k`` communication rounds a vertex has heard, transitively, the
+identifiers and incident-edge lists of all vertices at distance at most
+``k − 1``; hence it knows
+
+* every vertex id within distance ``k``, and
+* every edge with at least one endpoint at distance ≤ ``k − 1``,
+
+which determines the induced subgraph ``G[N^r[v]]`` exactly for every
+``r ≤ k − 1``.  A :class:`View` records that knowledge in *identifier
+space* — views never contain simulator vertex labels, so decision
+functions cannot cheat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.graphs.util import ball
+
+
+@dataclass
+class View:
+    """Radius-``complete_radius`` knowledge of one node, in id space."""
+
+    center: int
+    """The owning node's identifier."""
+    graph: nx.Graph
+    """All vertices/edges heard of (ids).  Edges incident to vertices at
+    distance exactly ``complete_radius + 1`` may be missing — use
+    :meth:`known_ball` for exact induced subgraphs."""
+    complete_radius: int
+    """Largest r such that G[N^r[center]] is known exactly."""
+    dist: dict[int, int] = field(default_factory=dict)
+    """Distances from the center (within the known graph)."""
+
+    def known_ball(self, r: int) -> nx.Graph:
+        """Exact induced subgraph ``G[N^r[center]]`` for ``r ≤ complete_radius``."""
+        if r > self.complete_radius:
+            raise ValueError(
+                f"view of radius {self.complete_radius} cannot answer radius {r}"
+            )
+        return self.graph.subgraph(ball(self.graph, self.center, r))
+
+    def knows_whole_component(self) -> bool:
+        """True when the view provably contains its entire component.
+
+        Holds when every known vertex is strictly inside the complete
+        radius — then nothing new can hang off the boundary.
+        """
+        return all(d < self.complete_radius for d in self.dist.values())
+
+    def neighbors(self) -> set[int]:
+        return set(self.graph.neighbors(self.center))

@@ -1,0 +1,51 @@
+"""Exact and baseline solvers for domination and vertex cover.
+
+These play two roles in the reproduction:
+
+* the **brute-force step** of the paper's Algorithm 1/2 (Step 4 solves a
+  ``B``-domination problem exactly on bounded-diameter components);
+* the **ratio denominator** in every experiment (measured approximation
+  ratio = |algorithm output| / |exact optimum|).
+
+The primary exact backend is MILP via ``scipy.optimize.milp`` (HiGHS); a
+pure-Python branch-and-bound is provided as a cross-check and fallback.
+"""
+
+from repro.solvers.exact import (
+    minimum_dominating_set,
+    minimum_b_dominating_set,
+    domination_number,
+)
+from repro.solvers.branch_and_bound import (
+    bnb_minimum_dominating_set,
+    bnb_minimum_b_dominating_set,
+)
+from repro.solvers.greedy import greedy_dominating_set, greedy_b_dominating_set
+from repro.solvers.tree_dp import tree_minimum_dominating_set
+from repro.solvers.vc import (
+    minimum_vertex_cover,
+    matching_vertex_cover,
+    vertex_cover_number,
+)
+from repro.solvers.bounds import (
+    degree_lower_bound,
+    two_packing_lower_bound,
+    lp_lower_bound,
+)
+
+__all__ = [
+    "minimum_dominating_set",
+    "minimum_b_dominating_set",
+    "domination_number",
+    "bnb_minimum_dominating_set",
+    "bnb_minimum_b_dominating_set",
+    "greedy_dominating_set",
+    "greedy_b_dominating_set",
+    "tree_minimum_dominating_set",
+    "minimum_vertex_cover",
+    "matching_vertex_cover",
+    "vertex_cover_number",
+    "degree_lower_bound",
+    "two_packing_lower_bound",
+    "lp_lower_bound",
+]

@@ -1,0 +1,98 @@
+"""Lower bounds on the domination number.
+
+Used to sanity-check measured ratios (an algorithm's output divided by a
+*lower bound* upper-bounds the true ratio) and inside branch-and-bound.
+
+* ``n / (Δ + 1)`` — the degree bound from the paper's footnote 4;
+* 2-packing — vertices pairwise at distance ≥ 3 need distinct
+  dominators (greedy and exact variants);
+* LP relaxation of the domination ILP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+from scipy.sparse import csr_matrix
+
+from repro.graphs.util import ball, closed_neighborhood
+
+Vertex = Hashable
+
+
+def degree_lower_bound(graph: nx.Graph) -> int:
+    """``⌈n / (Δ + 1)⌉``: every dominator covers at most Δ + 1 vertices."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0
+    max_degree = max(dict(graph.degree).values())
+    return math.ceil(n / (max_degree + 1))
+
+
+def two_packing_lower_bound(graph: nx.Graph) -> int:
+    """Greedy 2-packing: pairwise distance-≥3 vertices (each needs its own
+    dominator).  Deterministic greedy by ascending degree, then repr."""
+    blocked: set[Vertex] = set()
+    count = 0
+    order = sorted(graph.nodes, key=lambda v: (graph.degree(v), repr(v)))
+    for v in order:
+        if v in blocked:
+            continue
+        count += 1
+        blocked |= ball(graph, v, 2)
+    return count
+
+
+def exact_two_packing(graph: nx.Graph) -> int:
+    """Maximum 2-packing via MILP (independent set in ``G²``)."""
+    nodes = sorted(graph.nodes, key=repr)
+    if not nodes:
+        return 0
+    index = {v: i for i, v in enumerate(nodes)}
+    rows, cols, row_id = [], [], 0
+    for v in nodes:
+        for u in ball(graph, v, 2):
+            if u != v and repr(u) > repr(v):
+                rows.extend([row_id, row_id])
+                cols.extend([index[v], index[u]])
+                row_id += 1
+    if row_id == 0:
+        return len(nodes)
+    matrix = csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(row_id, len(nodes)))
+    result = milp(
+        c=-np.ones(len(nodes)),
+        constraints=[LinearConstraint(matrix, lb=0, ub=1)],
+        integrality=np.ones(len(nodes)),
+        bounds=Bounds(0, 1),
+    )
+    if not result.success:
+        raise RuntimeError(f"MILP solver failed: {result.message}")
+    return int(round(-result.fun))
+
+
+def lp_lower_bound(graph: nx.Graph) -> float:
+    """Optimal value of the fractional domination LP (≤ MDS(G))."""
+    nodes = sorted(graph.nodes, key=repr)
+    if not nodes:
+        return 0.0
+    index = {v: i for i, v in enumerate(nodes)}
+    rows, cols = [], []
+    for row, v in enumerate(nodes):
+        for u in closed_neighborhood(graph, v):
+            rows.append(row)
+            cols.append(index[u])
+    matrix = csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(len(nodes), len(nodes)))
+    result = linprog(
+        c=np.ones(len(nodes)),
+        A_ub=-matrix,
+        b_ub=-np.ones(len(nodes)),
+        bounds=(0, 1),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"LP solver failed: {result.message}")
+    return float(result.fun)

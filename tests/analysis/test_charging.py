@@ -1,0 +1,60 @@
+"""Tests for the explicit Lemma 3.3 charging function."""
+
+from repro.analysis.charging import build_charging, charging_profile
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_outerplanar
+from repro.solvers.exact import minimum_dominating_set
+
+
+class TestBuildCharging:
+    def test_every_interesting_vertex_charges(self, cycle6):
+        charging = build_charging(cycle6)
+        from repro.core.interesting import globally_interesting_vertices
+
+        assert set(charging) == globally_interesting_vertices(cycle6)
+
+    def test_charges_land_on_dominators(self, cycle6):
+        dominating = minimum_dominating_set(cycle6)
+        charging = build_charging(cycle6, dominating)
+        assert set(charging.values()) <= dominating | set(charging)
+
+    def test_self_charge_for_dominators(self):
+        g = gen.ladder(6)
+        dominating = minimum_dominating_set(g)
+        charging = build_charging(g, dominating)
+        for u, d in charging.items():
+            if u in dominating:
+                assert d == u
+
+    def test_empty_when_no_interesting(self, star6):
+        assert build_charging(star6) == {}
+
+
+class TestProfile:
+    def test_distance_bound_claim_5_11(self):
+        # Claim 5.11: a charged dominator lies within distance 5.
+        for g in (
+            gen.cycle(6),
+            gen.ladder(8),
+            random_outerplanar(14, 0),
+            random_outerplanar(14, 1),
+        ):
+            profile = charging_profile(g)
+            assert profile.max_distance <= 5, g
+
+    def test_charge_bound_claim_5_10(self):
+        # Claim 5.10/5.12 allow 6 per tree (19 overall); measured
+        # charges on the paper's families sit far below.
+        for g in (gen.ladder(10), random_outerplanar(16, 2)):
+            profile = charging_profile(g)
+            assert profile.max_charge <= 6, g
+
+    def test_average_charge(self, cycle6):
+        profile = charging_profile(cycle6)
+        assert profile.average_charge == profile.interesting_count / profile.dominator_count
+
+    def test_zero_profile(self, star6):
+        profile = charging_profile(star6)
+        assert profile.interesting_count == 0
+        assert profile.max_charge == 0
+        assert profile.average_charge == 0.0

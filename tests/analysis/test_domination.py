@@ -1,0 +1,47 @@
+"""Tests for domination validity checkers."""
+
+import networkx as nx
+
+from repro.analysis.domination import (
+    is_b_dominating_set,
+    is_dominating_set,
+    undominated_vertices,
+)
+from repro.graphs import generators as gen
+
+
+class TestIsDominatingSet:
+    def test_full_vertex_set(self, cycle6):
+        assert is_dominating_set(cycle6, cycle6.nodes)
+
+    def test_empty_set_fails_nonempty_graph(self, cycle6):
+        assert not is_dominating_set(cycle6, set())
+
+    def test_empty_graph_trivially_dominated(self):
+        assert is_dominating_set(nx.Graph(), set())
+
+    def test_star_hub(self, star6):
+        assert is_dominating_set(star6, {0})
+        assert not is_dominating_set(star6, {1})
+
+    def test_cycle_spacing(self):
+        g = gen.cycle(9)
+        assert is_dominating_set(g, {0, 3, 6})
+        assert not is_dominating_set(g, {0, 3})
+
+
+class TestUndominated:
+    def test_reports_exact_set(self, path5):
+        assert undominated_vertices(path5, {0}) == {2, 3, 4}
+
+    def test_empty_candidate(self, path5):
+        assert undominated_vertices(path5, set()) == set(path5.nodes)
+
+
+class TestBDomination:
+    def test_subset_targets(self, path5):
+        assert is_b_dominating_set(path5, {1}, [0, 1, 2])
+        assert not is_b_dominating_set(path5, {1}, [0, 4])
+
+    def test_empty_targets_always_ok(self, path5):
+        assert is_b_dominating_set(path5, set(), [])

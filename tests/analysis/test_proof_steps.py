@@ -1,0 +1,76 @@
+"""Tests for the executable proof steps (Lemma 5.2, Claim 5.3)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.lemmas import claim_5_3_report, lemma_5_2_check
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_cactus, random_tree
+from repro.graphs.util import ball
+
+
+class TestLemma52:
+    def test_far_apart_balls_on_path(self):
+        g = gen.path(20)
+        regions = [ball(g, 2, 1), ball(g, 10, 1), ball(g, 17, 1)]
+        assert lemma_5_2_check(g, regions)
+
+    def test_premise_enforced(self):
+        g = gen.path(10)
+        with pytest.raises(ValueError, match="intersect"):
+            lemma_5_2_check(g, [{2, 3}, {4, 5}])  # N[.] overlap at 3/4
+
+    def test_on_random_trees(self):
+        for seed in range(3):
+            g = random_tree(30, seed)
+            # pick three spread vertices; keep only those with disjoint N^2
+            nodes = sorted(g.nodes)
+            regions = [{nodes[0]}]
+            for v in nodes[1:]:
+                candidate = {v}
+                n_candidate = ball(g, v, 1)
+                if all(
+                    not (n_candidate & ball(g, next(iter(r)), 1)) for r in regions
+                ):
+                    regions.append(candidate)
+                if len(regions) == 3:
+                    break
+            if len(regions) >= 2:
+                assert lemma_5_2_check(g, regions)
+
+    def test_single_region_trivial(self, cycle6):
+        assert lemma_5_2_check(cycle6, [{0}])
+
+    def test_empty_regions(self, cycle6):
+        assert lemma_5_2_check(cycle6, [])
+
+
+class TestClaim53:
+    def test_budget_on_cacti(self):
+        for seed in range(3):
+            g = random_cactus(4, 5, seed)
+            report = claim_5_3_report(g, set(g.nodes))
+            assert report.within_budget, (seed, report)
+
+    def test_budget_on_trees(self):
+        for seed in range(3):
+            g = random_tree(25, seed)
+            report = claim_5_3_report(g, set(g.nodes))
+            assert report.within_budget
+
+    def test_probe_restriction(self):
+        g = gen.path(15)
+        probe = set(range(5))
+        report = claim_5_3_report(g, probe)
+        # cut vertices inside the probe: 1..4; local optimum covers N[S]
+        assert report.count == 4
+        assert report.within_budget
+
+    def test_two_connected_graph_has_zero(self, cycle6):
+        report = claim_5_3_report(cycle6, set(cycle6.nodes))
+        assert report.count == 0
+
+    def test_star_single_cut(self, star6):
+        report = claim_5_3_report(star6, set(star6.nodes))
+        assert report.count == 1
+        assert report.mds == 1

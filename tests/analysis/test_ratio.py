@@ -1,0 +1,45 @@
+"""Tests for ratio measurement."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.ratio import RatioReport, measure_ratio, measure_vc_ratio
+from repro.graphs import generators as gen
+
+
+class TestRatioReport:
+    def test_simple_ratio(self):
+        report = RatioReport(algorithm_size=6, optimum_size=2, valid=True)
+        assert report.ratio == 3.0
+
+    def test_zero_optimum_zero_algorithm(self):
+        report = RatioReport(algorithm_size=0, optimum_size=0, valid=True)
+        assert report.ratio == 1.0
+
+    def test_zero_optimum_nonzero_algorithm(self):
+        report = RatioReport(algorithm_size=3, optimum_size=0, valid=True)
+        assert report.ratio == float("inf")
+
+
+class TestMeasure:
+    def test_optimal_solution_ratio_one(self, star6):
+        report = measure_ratio(star6, {0})
+        assert report.ratio == 1.0
+        assert report.valid
+
+    def test_invalid_solution_flagged(self, star6):
+        report = measure_ratio(star6, {1})
+        assert not report.valid
+
+    def test_precomputed_optimum_reused(self, cycle6):
+        report = measure_ratio(cycle6, set(cycle6.nodes), optimum={0, 3})
+        assert report.ratio == 3.0
+
+    def test_vc_measure(self, cycle6):
+        report = measure_vc_ratio(cycle6, set(cycle6.nodes))
+        assert report.valid
+        assert report.ratio == 2.0
+
+    def test_vc_invalid_flagged(self, cycle6):
+        report = measure_vc_ratio(cycle6, {0})
+        assert not report.valid

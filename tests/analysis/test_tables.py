@@ -1,0 +1,46 @@
+"""Tests for table formatting and summary stats."""
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["n"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[2].endswith("  1") or lines[2].strip() == "1"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3])
+        assert s.count == 3
+        assert abs(s.mean - 2.0) < 1e-9
+        assert s.maximum == 3
+        assert s.minimum == 1
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_stddev(self):
+        s = summarize([2, 2, 2])
+        assert s.stddev == 0.0
+
+    def test_str_rendering(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))

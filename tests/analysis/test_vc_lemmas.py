@@ -1,0 +1,41 @@
+"""Tests for the MVC variants of the counting lemmas."""
+
+from repro.analysis.lemmas import vc_one_cut_report, vc_two_cut_report
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_cactus, random_outerplanar
+
+
+class TestVcTwoCuts:
+    def test_budget_on_ladders(self):
+        for n in (6, 9, 12):
+            report = vc_two_cut_report(gen.ladder(n), r=3)
+            assert report.within_budget, (n, report)
+
+    def test_budget_on_outerplanar(self):
+        for seed in range(3):
+            report = vc_two_cut_report(random_outerplanar(12, seed), r=3)
+            assert report.within_budget
+
+    def test_clique_pendants_counts_cut_vertices(self, clique_pendants5):
+        # MVC of the example is large (the clique), so counting all
+        # 2-cut vertices is fine *for vertex cover* — the reason the MVC
+        # variant can skip the interesting filter.
+        report = vc_two_cut_report(clique_pendants5, r=3)
+        assert report.within_budget
+
+    def test_measured_constant_recorded(self):
+        report = vc_two_cut_report(gen.ladder(8), r=3)
+        assert report.constant_used >= 0
+
+
+class TestVcOneCuts:
+    def test_budget_on_cacti(self):
+        for seed in range(3):
+            report = vc_one_cut_report(random_cactus(3, 5, seed), r=2)
+            assert report.within_budget
+
+    def test_cycle(self):
+        report = vc_one_cut_report(gen.cycle(15), r=2)
+        # 15 local 1-cuts vs MVC = 8: constant < 2 <= budget 6.
+        assert report.count == 15
+        assert report.within_budget

@@ -1,0 +1,72 @@
+"""Shared fixtures: a zoo of small graphs with known properties."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def path5() -> nx.Graph:
+    return gen.path(5)
+
+
+@pytest.fixture
+def cycle6() -> nx.Graph:
+    return gen.cycle(6)
+
+
+@pytest.fixture
+def star6() -> nx.Graph:
+    """Star on 6 vertices: hub 0, leaves 1..5."""
+    return gen.star(6)
+
+
+@pytest.fixture
+def fan5() -> nx.Graph:
+    """Fan with apex 0 over path 1..5."""
+    return gen.fan(5)
+
+
+@pytest.fixture
+def ladder5() -> nx.Graph:
+    return gen.ladder(5)
+
+
+@pytest.fixture
+def theta3() -> nx.Graph:
+    """Two terminals joined by three length-3 paths: has a K_{2,3} minor."""
+    return gen.theta(3, 3)
+
+
+@pytest.fixture
+def clique_pendants5() -> nx.Graph:
+    """The Section 4 example on a 5-clique."""
+    return gen.clique_with_pendants(5)
+
+
+@pytest.fixture
+def two_triangles_bridge() -> nx.Graph:
+    """Two triangles joined by a bridge: 1-cuts at the bridge endpoints."""
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    return g
+
+
+@pytest.fixture
+def small_zoo() -> list[nx.Graph]:
+    """A varied batch for smoke-coverage loops."""
+    return [
+        gen.path(6),
+        gen.cycle(7),
+        gen.star(7),
+        gen.fan(6),
+        gen.ladder(4),
+        gen.caterpillar(4, 2),
+        gen.spider(3, 3),
+        gen.maximal_outerplanar(8),
+        gen.cactus_chain(2, 4),
+        gen.clique_with_pendants(4),
+    ]

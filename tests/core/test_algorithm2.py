@@ -1,0 +1,41 @@
+"""Tests for Algorithm 2 (Theorem 4.3)."""
+
+from repro.analysis.domination import is_dominating_set
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.radii import RadiusPolicy
+from repro.graphs import generators as gen
+from repro.graphs.asdim import control_function_k2t
+
+
+class TestAlgorithm2:
+    def test_valid_on_zoo(self, small_zoo):
+        for g in small_zoo:
+            result = algorithm2(g, dimension=1, control=lambda r: r)
+            assert is_dominating_set(g, result.solution)
+
+    def test_equals_algorithm1_with_same_radii(self, fan5):
+        control = lambda r: r
+        policy = RadiusPolicy.from_asdim(1, control)
+        a1 = algorithm1(fan5, policy)
+        a2 = algorithm2(fan5, dimension=1, control=control)
+        assert a1.solution == a2.solution
+
+    def test_paper_control_function_matches_theorem41(self, cycle6):
+        t = 3
+        control = lambda r: control_function_k2t(r, t)
+        a2 = algorithm2(cycle6, dimension=1, control=control)
+        a1 = algorithm1(cycle6, t=t)
+        assert a1.solution == a2.solution
+
+    def test_metadata(self, fan5):
+        result = algorithm2(fan5, dimension=2, control=lambda r: r)
+        assert result.name == "algorithm2"
+        assert result.metadata["dimension"] == 2
+        assert result.metadata["ratio_bound"] == 75
+
+    def test_dimension_zero_class(self, path5):
+        # finite classes have dimension 0: ratio bound 25.
+        result = algorithm2(path5, dimension=0, control=lambda r: 4 * r)
+        assert is_dominating_set(path5, result.solution)
+        assert result.metadata["ratio_bound"] == 25

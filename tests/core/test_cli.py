@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_algorithm1(self, capsys):
+        code = main(["run", "--family", "fan", "--size", "12", "--algorithm", "algorithm1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid: True" in out
+        assert "ratio" in out
+
+    def test_run_d2(self, capsys):
+        code = main(["run", "--family", "tree", "--size", "15", "--algorithm", "d2"])
+        assert code == 0
+        assert "rounds=3" in capsys.readouterr().out
+
+    def test_run_simulate(self, capsys):
+        code = main(
+            [
+                "run", "--family", "cycle", "--size", "10",
+                "--algorithm", "algorithm1", "--simulate",
+            ]
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--family", "ladder", "--size", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm1" in out
+        assert "exact" in out
+
+    def test_families(self, capsys):
+        code = main(["families"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clique_pendants" in out
+
+    def test_report_tiny(self, capsys):
+        code = main(["report", "--scale", "tiny"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--family", "nope", "--algorithm", "d2"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--family", "fan", "--algorithm", "nope"])

@@ -1,0 +1,109 @@
+"""Tests for Theorem 4.4's D2 algorithm."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.domination import is_dominating_set
+from repro.core.d2 import d2_dominating_set, d2_set, gamma
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_outerplanar, random_tree
+from repro.graphs.twins import remove_true_twins
+from repro.solvers.exact import domination_number
+
+
+class TestGamma:
+    def test_leaf_has_gamma_one(self, path5):
+        # N[0] = {0,1} is inside N[1].
+        assert gamma(path5, 0) == 1
+
+    def test_interior_path_vertex(self, path5):
+        assert gamma(path5, 2) == 2
+
+    def test_star_hub(self, star6):
+        assert gamma(star6, 0) == 2
+
+    def test_star_leaf(self, star6):
+        assert gamma(star6, 1) == 1
+
+    def test_isolated_vertex(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert gamma(g, 0) == 2  # nobody else can dominate N[v]
+
+
+class TestD2Set:
+    def test_path_interior(self, path5):
+        assert d2_set(path5) == {1, 2, 3}
+
+    def test_star(self, star6):
+        assert d2_set(star6) == {0}
+
+    def test_fan_apex_only(self, fan5):
+        # every path vertex's closed neighborhood is inside the apex's
+        assert d2_set(fan5) == {0}
+
+    def test_k2t_all_pages_in_d2(self):
+        # K_{2,t} with non-adjacent hubs: every page needs two dominators.
+        g = nx.complete_bipartite_graph(2, 5)
+        assert d2_set(g) == set(g.nodes)
+
+    def test_cycle_all(self, cycle6):
+        assert d2_set(cycle6) == set(cycle6.nodes)
+
+
+class TestAlgorithm:
+    def test_valid_on_zoo(self, small_zoo):
+        for g in small_zoo:
+            result = d2_dominating_set(g)
+            assert is_dominating_set(g, result.solution), g
+
+    def test_valid_on_random_families(self):
+        for seed in range(4):
+            for g in (random_tree(20, seed), random_outerplanar(12, seed)):
+                result = d2_dominating_set(g)
+                assert is_dominating_set(g, result.solution)
+
+    def test_rounds_constant(self, small_zoo):
+        for g in small_zoo:
+            assert d2_dominating_set(g).rounds == 3
+
+    def test_clique_reduces_to_one(self):
+        result = d2_dominating_set(nx.complete_graph(6))
+        assert len(result.solution) == 1
+
+    def test_outerplanar_five_approx(self):
+        # Table 1 row: D2 at t=3 is the 5-approx on outerplanar graphs.
+        for seed in range(5):
+            g = random_outerplanar(12, seed)
+            result = d2_dominating_set(g)
+            assert len(result.solution) <= 5 * domination_number(g)
+
+    def test_k2t_bound_on_ladders(self):
+        # ladders are K_{2,3}-minor-free: bound is 2*3 - 1 = 5.
+        for n in (5, 8, 11):
+            g = gen.ladder(n)
+            result = d2_dominating_set(g)
+            assert len(result.solution) <= 5 * domination_number(g)
+
+    def test_k2t_bound_on_k2t_itself(self):
+        for t in (3, 5, 7):
+            g = nx.complete_bipartite_graph(2, t)
+            result = d2_dominating_set(g)
+            # graph is K_{2,t+1}-minor-free: bound 2(t+1) - 1
+            assert len(result.solution) <= (2 * (t + 1) - 1) * domination_number(g)
+
+    def test_empty_graph(self):
+        assert d2_dominating_set(nx.Graph()).solution == set()
+
+    def test_trees_better_than_three(self):
+        # On trees D2 behaves like the support-vertex rule: ratio <= 3.
+        for seed in range(5):
+            g = random_tree(20, seed)
+            result = d2_dominating_set(g)
+            assert len(result.solution) <= 3 * domination_number(g)
+
+    def test_lemma_5_19_dominates_after_twin_removal(self, small_zoo):
+        # D2 of the twin-free graph dominates the twin-free graph.
+        for g in small_zoo:
+            reduced, _ = remove_true_twins(g)
+            assert is_dominating_set(reduced, d2_set(reduced))

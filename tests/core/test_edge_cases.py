@@ -1,0 +1,103 @@
+"""Edge cases and defensive paths across the core algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.domination import is_dominating_set
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.baselines import full_gather_exact, take_all_vertices
+from repro.core.d2 import d2_dominating_set
+from repro.core.radii import RadiusPolicy
+from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+from repro.graphs import generators as gen
+
+
+class TestDegenerateInputs:
+    def test_all_algorithms_on_single_vertex(self):
+        g = nx.Graph()
+        g.add_node(42)
+        for runner in (algorithm1, d2_dominating_set, take_all_vertices, full_gather_exact):
+            result = runner(g)
+            assert result.solution == {42}, runner
+
+    def test_all_algorithms_on_k2(self):
+        g = nx.path_graph(2)
+        for runner in (algorithm1, d2_dominating_set, full_gather_exact):
+            result = runner(g)
+            assert is_dominating_set(g, result.solution)
+            assert len(result.solution) == 1, runner
+
+    def test_triangle(self):
+        g = nx.complete_graph(3)
+        assert len(algorithm1(g).solution) == 1
+        assert len(d2_dominating_set(g).solution) == 1
+
+    def test_many_components(self):
+        g = nx.Graph()
+        for i in range(4):
+            base = 10 * i
+            g.add_edges_from([(base, base + 1), (base + 1, base + 2)])
+        for runner in (algorithm1, d2_dominating_set):
+            result = runner(g)
+            assert is_dominating_set(g, result.solution), runner
+
+    def test_isolated_vertices_mixed_in(self):
+        g = gen.path(5)
+        g.add_node(100)
+        g.add_node(200)
+        result = algorithm1(g)
+        assert {100, 200} <= result.solution
+        assert is_dominating_set(g, result.solution)
+
+
+class TestPolicyEdges:
+    def test_minimum_legal_policy(self):
+        policy = RadiusPolicy(one_cut_radius=1, two_cut_radius=2)
+        g = gen.ladder(5)
+        result = algorithm1(g, policy)
+        assert is_dominating_set(g, result.solution)
+
+    def test_asymmetric_radii(self):
+        policy = RadiusPolicy(one_cut_radius=5, two_cut_radius=2)
+        assert policy.detection_radius == 5
+        g = gen.cycle(13)
+        result = algorithm1(g, policy)
+        assert is_dominating_set(g, result.solution)
+
+    def test_algorithm2_with_constant_control(self):
+        # dimension-0 classes admit constant control functions.
+        g = gen.fan(6)
+        result = algorithm2(g, dimension=0, control=lambda r: 7)
+        assert is_dominating_set(g, result.solution)
+
+
+class TestVcEdges:
+    def test_vc_on_single_edge(self):
+        g = nx.path_graph(2)
+        assert len(local_cuts_vertex_cover(g).solution) == 1
+        # the D2 variant keeps non-representative twins: on K_2 it takes
+        # both endpoints (valid, factor 2 — still within the t-approx).
+        d2 = d2_vertex_cover(g).solution
+        from repro.solvers.vc import is_vertex_cover
+
+        assert is_vertex_cover(g, d2)
+        assert len(d2) <= 2
+
+    def test_vc_on_triangle(self):
+        g = nx.complete_graph(3)
+        from repro.solvers.vc import is_vertex_cover
+
+        assert is_vertex_cover(g, local_cuts_vertex_cover(g).solution)
+
+    def test_vc_policy_and_t_exclusive(self, path5):
+        with pytest.raises(ValueError):
+            local_cuts_vertex_cover(path5, RadiusPolicy.practical(), t=3)
+
+
+class TestCliGreedy:
+    def test_cli_greedy_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--family", "tree", "--size", "14", "--algorithm", "greedy"]) == 0
+        assert "valid: True" in capsys.readouterr().out

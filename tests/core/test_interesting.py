@@ -1,0 +1,73 @@
+"""Tests for the global interesting-vertex vocabulary (Section 5.3)."""
+
+import networkx as nx
+
+from repro.core.interesting import (
+    almost_interesting_vertices,
+    covering_noncrossing_families,
+    friends,
+    globally_interesting_vertices,
+    interesting_cuts,
+    is_globally_interesting,
+)
+from repro.graphs import generators as gen
+
+
+class TestGlobalInteresting:
+    def test_clique_pendants_not_interesting(self, clique_pendants5):
+        # the Section 4 motivating example
+        assert globally_interesting_vertices(clique_pendants5) == set()
+
+    def test_c6_all_interesting(self, cycle6):
+        assert globally_interesting_vertices(cycle6) == set(cycle6.nodes)
+
+    def test_ladder_rungs_interesting(self):
+        g = gen.ladder(6)
+        interesting = globally_interesting_vertices(g)
+        assert {4, 5, 6, 7} <= interesting
+
+    def test_star_nothing_interesting(self, star6):
+        assert globally_interesting_vertices(star6) == set()
+
+    def test_is_globally_interesting_specific_cut(self, cycle6):
+        assert is_globally_interesting(cycle6, 0, frozenset({0, 3}))
+
+    def test_wrong_cut_shape_rejected(self, cycle6):
+        assert not is_globally_interesting(cycle6, 0, frozenset({1, 3}))
+        assert not is_globally_interesting(cycle6, 0, frozenset({0}))
+
+
+class TestAlmostInteresting:
+    def test_superset_of_interesting(self, small_zoo):
+        for g in small_zoo:
+            interesting = globally_interesting_vertices(g)
+            almost = almost_interesting_vertices(g)
+            assert interesting <= almost | interesting
+
+    def test_clique_pendants_also_not_almost(self, clique_pendants5):
+        # every cut component is adjacent to the partner hub
+        assert almost_interesting_vertices(clique_pendants5) == set()
+
+
+class TestFriends:
+    def test_c6_friends_are_opposites(self, cycle6):
+        assert friends(cycle6, 0) == {3}
+
+    def test_no_friends_without_cuts(self, star6):
+        assert friends(star6, 0) == set()
+
+
+class TestInterestingCuts:
+    def test_c6_has_three(self, cycle6):
+        cuts = interesting_cuts(cycle6)
+        assert len(cuts) == 3
+
+    def test_covering_families_cover_all_interesting(self, small_zoo):
+        for g in small_zoo:
+            interesting = globally_interesting_vertices(g)
+            families = covering_noncrossing_families(g)
+            covered = set()
+            for family in families:
+                for cut in family:
+                    covered |= set(cut)
+            assert interesting <= covered

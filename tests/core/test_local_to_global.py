@@ -1,0 +1,77 @@
+"""Tests for the Proposition 3.1 lifting framework."""
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.d2 import d2_dominating_set
+from repro.core.local_to_global import (
+    lifted_bound,
+    local_guarantee_holds,
+    probe_sets_from_balls,
+    verify_lifting,
+)
+from repro.graphs import generators as gen
+from repro.graphs.asdim import bfs_layered_cover, tree_cover
+from repro.graphs.random_families import random_tree
+
+
+class TestLiftedBound:
+    def test_formula(self):
+        assert lifted_bound(5, 1) == 10
+        assert lifted_bound(3, 2) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lifted_bound(0, 1)
+        with pytest.raises(ValueError):
+            lifted_bound(2, -1)
+
+
+class TestLocalGuarantee:
+    def test_d2_satisfies_local_guarantee_on_trees(self):
+        # Corollary 5.20's shape: |D2 ∩ S| <= (2t-1) MDS(N[S]); trees
+        # are K_{2,3}-free so alpha = 5 with k = 1.
+        for seed in range(3):
+            g = random_tree(18, seed)
+            solution = d2_dominating_set(g).solution
+            probes = probe_sets_from_balls(g, radius=2)
+            assert local_guarantee_holds(g, solution, probes, alpha=5, k=1)
+
+    def test_probe_sets_cover_spread(self, cycle6):
+        probes = probe_sets_from_balls(cycle6, radius=1, count=3)
+        assert len(probes) == 3
+        assert all(probes)
+
+    def test_violated_guarantee_detected(self, star6):
+        # taking everything in a star blows any alpha < n bound for the
+        # probe {hub-ball} whose local optimum is 1.
+        solution = set(star6.nodes)
+        probes = [set(star6.nodes)]
+        assert not local_guarantee_holds(star6, solution, probes, alpha=2, k=1)
+
+
+class TestVerifyLifting:
+    def test_d2_lifting_on_trees(self):
+        for seed in range(3):
+            g = random_tree(20, seed)
+            solution = d2_dominating_set(g).solution
+            cover = tree_cover(g, r=5)  # 2k+3 = 5 components needed
+            report = verify_lifting(g, solution, cover, alpha=5, r=5, k=1)
+            assert report.per_part_ok
+            assert report.conclusion_holds
+            assert report.lifted_ratio_bound == 10
+
+    def test_algorithm1_lifting_on_families(self):
+        for g in (gen.fan(10), gen.ladder(6), gen.cycle(12)):
+            solution = algorithm1(g).solution
+            cover = bfs_layered_cover(g, r=5)
+            report = verify_lifting(g, solution, cover, alpha=25, r=5, k=1)
+            assert report.per_part_ok
+            assert report.conclusion_holds
+
+    def test_report_counts_components(self, path5):
+        cover = [set(path5.nodes)]
+        report = verify_lifting(path5, {1, 3}, cover, alpha=3, r=5, k=1)
+        assert report.parts_checked == 1
+        assert report.cover_parts == 1
+        assert report.dimension == 0

@@ -1,0 +1,56 @@
+"""Tests for radius policies."""
+
+import pytest
+
+from repro.core.radii import RadiusPolicy
+
+
+class TestPaperConstants:
+    def test_paper_radii_formulas(self):
+        # m_3.2 = f(5) + 2 = 43t + 2;  m_3.3 = f(11) + 5 = 73t + 5.
+        for t in (2, 3, 5):
+            policy = RadiusPolicy.paper(t)
+            assert policy.one_cut_radius == 43 * t + 2
+            assert policy.two_cut_radius == 73 * t + 5
+
+    def test_paper_ratio_is_fifty(self):
+        assert RadiusPolicy.paper(4).ratio_bound == 50
+
+    def test_linear_in_t(self):
+        r3, r6 = RadiusPolicy.paper(3), RadiusPolicy.paper(6)
+        assert r6.one_cut_radius - 2 == 2 * (r3.one_cut_radius - 2)
+
+
+class TestAsdimPolicy:
+    def test_dimension_changes_ratio(self):
+        policy = RadiusPolicy.from_asdim(2, lambda r: 10 * r)
+        assert policy.ratio_bound == 25 * 3
+
+    def test_control_function_applied(self):
+        policy = RadiusPolicy.from_asdim(1, lambda r: r + 1)
+        assert policy.one_cut_radius == 6 + 2
+        assert policy.two_cut_radius == 12 + 5
+
+
+class TestPracticalPolicy:
+    def test_defaults(self):
+        policy = RadiusPolicy.practical()
+        assert policy.one_cut_radius == 2
+        assert policy.two_cut_radius == 3
+        assert policy.dimension == 1
+
+    def test_detection_radius(self):
+        policy = RadiusPolicy.practical(4, 3)
+        assert policy.detection_radius == max(4, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadiusPolicy(one_cut_radius=0, two_cut_radius=3)
+        with pytest.raises(ValueError):
+            RadiusPolicy(one_cut_radius=2, two_cut_radius=1)
+        with pytest.raises(ValueError):
+            RadiusPolicy(one_cut_radius=2, two_cut_radius=3, dimension=-1)
+
+    def test_labels(self):
+        assert "paper" in RadiusPolicy.paper(3).label
+        assert "practical" in RadiusPolicy.practical().label

@@ -1,0 +1,52 @@
+"""Simulate-vs-fast agreement for the MVC variant."""
+
+import pytest
+
+from repro.core.radii import RadiusPolicy
+from repro.core.vertex_cover import local_cuts_vertex_cover
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_outerplanar, random_tree
+from repro.solvers.vc import is_vertex_cover
+
+
+CASES = [
+    gen.path(8),
+    gen.cycle(9),
+    gen.star(7),
+    gen.fan(6),
+    gen.ladder(5),
+    gen.caterpillar(3, 2),
+    gen.cactus_chain(2, 4),
+    gen.clique_with_pendants(4),
+]
+
+
+@pytest.mark.parametrize(
+    "graph", CASES, ids=lambda g: f"n{g.number_of_nodes()}m{g.number_of_edges()}"
+)
+def test_vc_simulate_equals_fast(graph):
+    fast = local_cuts_vertex_cover(graph, mode="fast")
+    simulated = local_cuts_vertex_cover(graph, mode="simulate")
+    assert simulated.solution == fast.solution
+    assert is_vertex_cover(graph, simulated.solution)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_vc_simulate_equals_fast_random(seed):
+    for g in (random_tree(12, seed), random_outerplanar(10, seed)):
+        fast = local_cuts_vertex_cover(g, mode="fast")
+        simulated = local_cuts_vertex_cover(g, mode="simulate")
+        assert simulated.solution == fast.solution
+
+
+def test_unknown_mode_rejected(path5):
+    with pytest.raises(ValueError, match="unknown mode"):
+        local_cuts_vertex_cover(path5, mode="warp")
+
+
+def test_wider_policy_also_agrees():
+    g = gen.ladder(5)
+    policy = RadiusPolicy.practical(3, 4)
+    fast = local_cuts_vertex_cover(g, policy, mode="fast")
+    simulated = local_cuts_vertex_cover(g, policy, mode="simulate")
+    assert simulated.solution == fast.solution

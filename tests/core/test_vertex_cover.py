@@ -1,0 +1,83 @@
+"""Tests for the MVC variants."""
+
+import networkx as nx
+
+from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_outerplanar, random_tree
+from repro.solvers.vc import is_vertex_cover, vertex_cover_number
+
+
+class TestLocalCutsVc:
+    def test_valid_on_zoo(self, small_zoo):
+        for g in small_zoo:
+            result = local_cuts_vertex_cover(g)
+            assert is_vertex_cover(g, result.solution), g
+
+    def test_valid_on_random(self):
+        for seed in range(4):
+            for g in (random_tree(16, seed), random_outerplanar(11, seed)):
+                result = local_cuts_vertex_cover(g)
+                assert is_vertex_cover(g, result.solution)
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert local_cuts_vertex_cover(g).solution == set()
+
+    def test_phases_cover_solution(self, fan5):
+        result = local_cuts_vertex_cover(fan5)
+        union = set().union(*result.phases.values())
+        assert union == result.solution
+
+    def test_takes_all_two_cut_vertices(self):
+        # unlike the MDS variant there is no interesting filter
+        g = gen.ladder(6)
+        result = local_cuts_vertex_cover(g)
+        from repro.graphs.local_cuts import local_two_cuts
+        from repro.core.radii import RadiusPolicy
+
+        policy = RadiusPolicy.practical()
+        expected = set().union(
+            *local_two_cuts(g, policy.two_cut_radius, minimal=True)
+        )
+        assert expected <= result.solution
+
+    def test_ratio_on_paper_families(self):
+        for seed in range(3):
+            g = random_outerplanar(10, seed)
+            result = local_cuts_vertex_cover(g)
+            assert len(result.solution) <= 50 * vertex_cover_number(g)
+
+
+class TestD2Vc:
+    def test_valid_on_zoo(self, small_zoo):
+        for g in small_zoo:
+            result = d2_vertex_cover(g)
+            assert is_vertex_cover(g, result.solution), g
+
+    def test_valid_on_cliques(self):
+        for n in (3, 5, 7):
+            g = nx.complete_graph(n)
+            result = d2_vertex_cover(g)
+            assert is_vertex_cover(g, result.solution)
+
+    def test_t_approx_shape_on_k2t(self):
+        # on K_{2,t} (K_{2,t+1}-free) the measured ratio stays below t+1.
+        for t in (3, 5):
+            g = nx.complete_bipartite_graph(2, t)
+            result = d2_vertex_cover(g)
+            assert len(result.solution) <= (t + 1) * vertex_cover_number(g)
+
+    def test_edgeless(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        assert d2_vertex_cover(g).solution == set()
+
+    def test_rounds_constant(self, small_zoo):
+        assert {d2_vertex_cover(g).rounds for g in small_zoo} == {4}
+
+    def test_patch_metadata(self, small_zoo):
+        for g in small_zoo:
+            result = d2_vertex_cover(g)
+            assert "patched_vertices" in result.metadata

@@ -1,0 +1,119 @@
+"""Tests for the experiment harnesses (tiny scale)."""
+
+import pytest
+
+from repro.experiments.figures import figure1_rows, figure2_rows
+from repro.experiments.sweeps import (
+    _k2t_stress_instance,
+    crossover_table,
+    lemma_constants_sweep,
+    ratio_vs_n,
+    ratio_vs_t,
+    render_rows,
+    rounds_vs_n,
+)
+from repro.experiments.table1 import table1_report, table1_rows
+from repro.experiments.workloads import make_workload, standard_suite
+
+
+class TestWorkloads:
+    def test_standard_suite_scales(self):
+        suite = standard_suite("tiny")
+        assert "tree" in suite
+        assert all(w.instances for w in suite.values())
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            standard_suite("galactic")
+
+    def test_make_workload_sizes(self):
+        w = make_workload("path", [5, 8])
+        assert w.sizes == [5, 8]
+
+
+class TestTable1:
+    def test_rows_structure(self):
+        rows = table1_rows("tiny")
+        assert len(rows) >= 6
+        classes = {r.graph_class for r in rows}
+        assert "trees (K_3)" in classes
+
+    def test_all_solutions_valid(self):
+        for row in table1_rows("tiny"):
+            assert row.all_valid, row
+
+    def test_measured_respects_paper_bounds(self):
+        # the quantitative reproduction claim for the numeric rows
+        for row in table1_rows("tiny"):
+            if row.paper_ratio.isdigit():
+                assert row.measured_ratio_max <= float(row.paper_ratio) + 1e-9, row
+
+    def test_rounds_constant_rows(self):
+        for row in table1_rows("tiny"):
+            if row.paper_rounds.isdigit():
+                assert row.measured_rounds_max <= int(row.paper_rounds), row
+
+    def test_report_renders(self):
+        text = table1_report("tiny")
+        assert "Algorithm 1" in text
+
+
+class TestSweeps:
+    def test_stress_instance_shape(self):
+        g = _k2t_stress_instance(4, blocks=2)
+        assert g.number_of_nodes() > 8
+
+    def test_stress_instance_rejects_small_t(self):
+        with pytest.raises(ValueError):
+            _k2t_stress_instance(2)
+
+    def test_ratio_vs_t_monotone_d2(self):
+        rows = ratio_vs_t(ts=(3, 6, 9))
+        d2 = [r["d2_ratio"] for r in rows]
+        assert d2[0] < d2[-1]
+        # while Algorithm 1 stays flat-ish
+        alg1 = [r["alg1_ratio"] for r in rows]
+        assert max(alg1) - min(alg1) < 1.0
+
+    def test_ratio_vs_t_within_bounds(self):
+        for row in ratio_vs_t(ts=(3, 5)):
+            assert row["d2_ratio"] <= row["d2_bound"]
+            assert row["alg1_ratio"] <= row["alg1_bound"]
+
+    def test_rounds_vs_n_constant_vs_linear(self):
+        rows = rounds_vs_n(sizes=(8, 16, 24))
+        alg1 = {r["alg1_rounds"] for r in rows}
+        assert len(alg1) == 1
+        gather = [r["full_gather_rounds"] for r in rows]
+        assert gather[0] < gather[-1]
+
+    def test_ratio_vs_n_flat(self):
+        rows = ratio_vs_n(sizes=(16, 32))
+        assert all(r["alg1_ratio"] <= 4 for r in rows)
+
+    def test_lemma_constants_within_budgets(self):
+        for row in lemma_constants_sweep(seeds=(0,)):
+            assert row["c32_used"] <= row["c32_budget"]
+            assert row["c33_used"] <= row["c33_budget"]
+
+    def test_crossover_at_25(self):
+        rows = {r["t"]: r["winner"] for r in crossover_table()}
+        assert rows[25] == "Thm 4.4"
+        assert rows[26] == "Thm 4.1"
+
+    def test_render_rows(self):
+        assert "t" in render_rows(crossover_table(ts=(3,)))
+        assert render_rows([]) == "(no data)"
+
+
+class TestFigures:
+    def test_figure1_all_checks_pass(self):
+        for row in figure1_rows(seeds=(0,)):
+            assert row["A_edgeless"]
+            assert row["degrees_ok"]
+            assert row["half_of_D2_ok"]
+            assert row["ineq_|A|<=(t-1)|B|"]
+
+    def test_figure2_charge_bounded(self):
+        for row in figure2_rows(seeds=(0,)):
+            assert row["max_dist_to_dominator"] <= row["claim_5_11_bound"]

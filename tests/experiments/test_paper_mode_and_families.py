@@ -1,0 +1,34 @@
+"""Remaining harness coverage: paper-mode sweep and family sampling."""
+
+import pytest
+
+from repro.experiments.paper_mode import paper_mode_on_cycles
+from repro.graphs.random_families import sample_family
+
+
+class TestPaperMode:
+    def test_rows_fields(self):
+        rows = paper_mode_on_cycles(ns=(180,), t=2)
+        row = rows[0]
+        assert row["m32_radius"] == 43 * 2 + 2
+        assert row["all_vertices_are_local_1_cuts"]
+        assert row["ratio"] <= row["ratio_bound"]
+
+    def test_short_cycle_guard(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            paper_mode_on_cycles(ns=(50,), t=2)
+
+
+class TestSampleFamily:
+    def test_k2t_free_branch(self):
+        graphs = sample_family("k2t_free", [8], t=4)
+        assert graphs[0].number_of_nodes() == 8
+
+    def test_sizes_respected(self):
+        graphs = sample_family("outerplanar", [6, 9, 12], t=3)
+        assert [g.number_of_nodes() for g in graphs] == [6, 9, 12]
+
+    def test_seed_determinism(self):
+        a = sample_family("ding", [20], t=8, seed=5)
+        b = sample_family("ding", [20], t=8, seed=5)
+        assert sorted(a[0].edges) == sorted(b[0].edges)

@@ -1,0 +1,135 @@
+"""Tests for asymptotic-dimension covers."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.asdim import (
+    bfs_layered_cover,
+    control_function_k2t,
+    path_cover,
+    tree_cover,
+    tree_cover_classes,
+    verify_cover,
+)
+from repro.graphs.random_families import random_tree
+from repro.graphs.util import weak_diameter, r_components
+
+
+class TestControlFunction:
+    def test_paper_values(self):
+        # f(r) = (5r + 18)t: the constants quoted in Section 4.
+        assert control_function_k2t(5, 2) == 86
+        assert control_function_k2t(11, 2) == 146
+
+    def test_linear_in_t(self):
+        assert control_function_k2t(5, 4) == 2 * control_function_k2t(5, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            control_function_k2t(-1, 3)
+        with pytest.raises(ValueError):
+            control_function_k2t(5, 1)
+
+
+class TestVerifyCover:
+    def test_trivial_cover_of_small_graph(self, cycle6):
+        ok, bound = verify_cover(cycle6, [set(cycle6.nodes)], r=1)
+        assert ok
+        assert bound == 3  # diameter of C6
+
+    def test_non_covering_fails(self, cycle6):
+        ok, bound = verify_cover(cycle6, [{0, 1}], r=1)
+        assert not ok
+        assert bound == -1
+
+    def test_bound_enforced(self, path5):
+        ok, bound = verify_cover(path5, [set(path5.nodes)], r=1, bound=2)
+        assert not ok
+        assert bound == 4
+
+
+class TestPathCover:
+    def test_long_path_r2(self):
+        g = gen.path(40)
+        cover = path_cover(g, 2)
+        ok, bound = verify_cover(g, cover, r=2, bound=2 * 2)
+        assert ok
+        assert bound <= 3  # intervals of 4 vertices have diameter 3
+
+    def test_all_radii(self):
+        g = gen.path(60)
+        for r in (1, 2, 3, 5):
+            cover = path_cover(g, r)
+            ok, bound = verify_cover(g, cover, r=r, bound=2 * r)
+            assert ok, f"r={r}, bound={bound}"
+
+    def test_rejects_non_path(self, cycle6):
+        with pytest.raises(ValueError):
+            path_cover(cycle6, 2)
+
+    def test_rejects_zero_radius(self, path5):
+        with pytest.raises(ValueError):
+            path_cover(path5, 0)
+
+    def test_single_vertex(self):
+        g = nx.Graph()
+        g.add_node(0)
+        cover = path_cover(g, 3)
+        assert cover[0] == {0}
+
+
+class TestTreeCover:
+    def test_binary_tree_control(self):
+        g = gen.complete_binary_tree(5)
+        for r in (1, 2, 3):
+            cover = tree_cover(g, r)
+            ok, bound = verify_cover(g, cover, r=r, bound=6 * r)
+            assert ok, f"r={r}: witnessed {bound} > {6 * r}"
+
+    def test_random_trees_control(self):
+        for seed in range(4):
+            g = random_tree(40, seed)
+            for r in (1, 2):
+                cover = tree_cover(g, r)
+                ok, bound = verify_cover(g, cover, r=r, bound=6 * r)
+                assert ok, f"seed={seed} r={r}: witnessed {bound}"
+
+    def test_classes_are_well_separated(self):
+        g = gen.complete_binary_tree(4)
+        r = 2
+        for cls in tree_cover_classes(g, r):
+            assert weak_diameter(g, cls) <= 6 * r
+
+    def test_two_parts_cover(self):
+        g = random_tree(25, 7)
+        cover = tree_cover(g, 2)
+        assert cover[0] | cover[1] == set(g.nodes)
+
+    def test_rejects_non_tree(self, cycle6):
+        with pytest.raises(ValueError):
+            tree_cover(cycle6, 2)
+
+
+class TestBfsLayeredCover:
+    def test_covers_everything(self, small_zoo):
+        for g in small_zoo:
+            cover = bfs_layered_cover(g, 2)
+            assert cover[0] | cover[1] == set(g.nodes)
+
+    def test_equals_tree_cover_on_trees(self):
+        g = random_tree(20, 3)
+        assert bfs_layered_cover(g, 2) == tree_cover(g, 2)
+
+    def test_measured_bound_reported(self, cycle6):
+        cover = bfs_layered_cover(cycle6, 1)
+        ok, bound = verify_cover(cycle6, cover, r=1)
+        assert ok
+        assert bound >= 0
+
+    def test_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        with pytest.raises(ValueError):
+            bfs_layered_cover(g, 2)

@@ -1,0 +1,83 @@
+"""Tests for block-cut trees."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.blockcut import (
+    BLOCK,
+    CUT,
+    biconnected_blocks,
+    block_cut_tree,
+    blocks_containing,
+    is_valid_block_cut_tree,
+)
+
+
+class TestBlocks:
+    def test_cycle_is_single_block(self, cycle6):
+        assert biconnected_blocks(cycle6) == [frozenset(cycle6.nodes)]
+
+    def test_path_blocks_are_edges(self, path5):
+        blocks = biconnected_blocks(path5)
+        assert sorted(sorted(b) for b in blocks) == [[0, 1], [1, 2], [2, 3], [3, 4]]
+
+    def test_isolated_vertex_is_block(self):
+        g = nx.Graph()
+        g.add_node(3)
+        assert biconnected_blocks(g) == [frozenset({3})]
+
+    def test_two_triangles(self, two_triangles_bridge):
+        blocks = {frozenset(b) for b in biconnected_blocks(two_triangles_bridge)}
+        assert frozenset({0, 1, 2}) in blocks
+        assert frozenset({3, 4, 5}) in blocks
+        assert frozenset({2, 3}) in blocks
+
+
+class TestTree:
+    def test_is_tree(self, small_zoo):
+        for g in small_zoo:
+            tree = block_cut_tree(g)
+            assert nx.is_tree(tree)
+
+    def test_valid_structure(self, small_zoo):
+        for g in small_zoo:
+            assert is_valid_block_cut_tree(g, block_cut_tree(g))
+
+    def test_leaves_are_blocks(self, path5):
+        tree = block_cut_tree(path5)
+        for node in tree.nodes:
+            if tree.degree(node) == 1:
+                assert tree.nodes[node]["kind"] == BLOCK
+
+    def test_cut_nodes_match_articulation_points(self, two_triangles_bridge):
+        tree = block_cut_tree(two_triangles_bridge)
+        cuts = {
+            data["vertex"]
+            for _, data in tree.nodes(data=True)
+            if data["kind"] == CUT
+        }
+        assert cuts == {2, 3}
+
+    def test_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            block_cut_tree(g)
+
+    def test_empty_graph(self):
+        tree = block_cut_tree(nx.Graph())
+        assert tree.number_of_nodes() == 0
+
+    def test_blocks_containing(self, two_triangles_bridge):
+        tree = block_cut_tree(two_triangles_bridge)
+        homes = blocks_containing(tree, 2)
+        assert len(homes) == 2  # the triangle and the bridge
+
+    def test_star_tree_shape(self, star6):
+        # star: hub is the single cut vertex, one block per edge.
+        tree = block_cut_tree(star6)
+        cut_nodes = [n for n, d in tree.nodes(data=True) if d["kind"] == CUT]
+        assert len(cut_nodes) == 1
+        assert tree.degree(cut_nodes[0]) == 5

@@ -1,0 +1,106 @@
+"""Tests for the Proposition 5.8 rules and the nesting forest."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.cut_forest import (
+    covered_indices,
+    cycle_node_families,
+    displayed_vertices,
+    families_noncrossing_on_cycle,
+    forest_depth,
+    indices_cross,
+    nesting_forest,
+)
+
+
+class TestCycleNodeFamilies:
+    def test_c6_paper_case(self):
+        families = cycle_node_families(6)
+        assert families["P1"] == [frozenset({0, 3})]
+        assert families["P2"] == [frozenset({1, 4})]
+        assert families["P3"] == [frozenset({2, 5})]
+
+    def test_c7_paper_case(self):
+        families = cycle_node_families(7)
+        assert frozenset({0, 3}) in families["P1"]
+        assert frozenset({0, 4}) in families["P1"]
+        assert families["P2"] == [frozenset({1, 5})]
+        assert families["P3"] == [frozenset({2, 6})]
+
+    def test_even_large_cycles_cover_everything(self):
+        for k in (8, 10, 12):
+            families = cycle_node_families(k)
+            assert covered_indices(families) == set(range(k)), k
+
+    def test_odd_large_cycles_cover_everything(self):
+        for k in (9, 11, 13):
+            families = cycle_node_families(k)
+            assert covered_indices(families) == set(range(k)), k
+
+    def test_all_families_noncrossing(self):
+        for k in range(6, 16):
+            families = cycle_node_families(k)
+            assert families_noncrossing_on_cycle(k, families), k
+
+    def test_single_virtual_edge_case_k5(self):
+        families = cycle_node_families(5, [(0, 1)])
+        assert frozenset({0, 1}) in families["P1"]
+        assert frozenset({0, 2}) in families["P1"]
+        assert families["P2"] == [frozenset({1, 4})]
+
+    def test_two_virtual_edges_case(self):
+        families = cycle_node_families(5, [(0, 1), (0, 4)])
+        assert frozenset({0, 2}) in families["P1"]
+        assert frozenset({0, 3}) in families["P1"]
+        assert frozenset({1, 4}) in families["P2"]
+        assert families_noncrossing_on_cycle(5, families)
+
+    def test_plain_small_cycle_has_no_cuts(self):
+        families = cycle_node_families(5)
+        assert all(not cuts for cuts in families.values())
+
+    def test_tiny_cycle_guard(self):
+        with pytest.raises(ValueError):
+            cycle_node_families(2)
+
+    def test_indices_cross(self):
+        assert indices_cross(6, frozenset({0, 3}), frozenset({1, 4}))
+        assert not indices_cross(8, frozenset({0, 4}), frozenset({1, 3}))
+        assert not indices_cross(6, frozenset({0, 3}), frozenset({3, 5}))
+
+
+class TestNestingForest:
+    def test_ladder_rungs_form_a_chain(self):
+        g = gen.ladder(6)
+        rungs = [frozenset({2 * i, 2 * i + 1}) for i in range(1, 5)]
+        forest = nesting_forest(g, rungs)
+        assert forest.number_of_nodes() == 4
+        # rungs nest linearly away from the anchor (vertex 0)
+        assert forest_depth(forest) == 4
+        roots = [c for c in forest.nodes if forest.in_degree(c) == 0]
+        assert roots == [frozenset({2, 3})]
+
+    def test_crossing_cuts_rejected(self, cycle6):
+        with pytest.raises(ValueError, match="cross"):
+            nesting_forest(cycle6, [frozenset({0, 3}), frozenset({1, 4})])
+
+    def test_disjoint_cuts_are_siblings(self):
+        # a spider of three legs with 2-cuts in different legs: no nesting
+        g = gen.spider(3, 4)
+        # vertices along legs: build cuts {leg vertices at positions 2,3}
+        # use consecutive path pairs, which are 2-cuts of the spider
+        cuts = [frozenset({1, 2}), frozenset({5, 6})]
+        forest = nesting_forest(g, cuts)
+        assert forest.number_of_edges() == 0
+
+    def test_displayed_vertices(self):
+        g = gen.ladder(5)
+        rungs = [frozenset({2, 3}), frozenset({4, 5})]
+        forest = nesting_forest(g, rungs)
+        assert displayed_vertices(forest) == {2, 3, 4, 5}
+
+    def test_empty_forest(self, cycle6):
+        forest = nesting_forest(cycle6, [])
+        assert forest_depth(forest) == 0

@@ -1,0 +1,124 @@
+"""Tests for global cut machinery."""
+
+import networkx as nx
+
+from repro.graphs import generators as gen
+from repro.graphs.cuts import (
+    attached_components,
+    components_after_removal,
+    crossing_two_cuts,
+    cut_vertices,
+    cut_vertices_by_definition,
+    is_cut,
+    is_minimal_cut,
+    minimal_two_cuts,
+    two_cuts,
+)
+
+
+class TestIsCut:
+    def test_path_interior_is_cut(self, path5):
+        assert is_cut(path5, {2})
+
+    def test_path_endpoint_is_not_cut(self, path5):
+        assert not is_cut(path5, {0})
+
+    def test_cycle_single_vertex_not_cut(self, cycle6):
+        assert not is_cut(cycle6, {0})
+
+    def test_cycle_opposite_pair_is_cut(self, cycle6):
+        assert is_cut(cycle6, {0, 3})
+
+    def test_cycle_adjacent_pair_not_cut(self, cycle6):
+        assert not is_cut(cycle6, {0, 1})
+
+    def test_empty_set_not_cut(self, path5):
+        assert not is_cut(path5, set())
+
+    def test_whole_graph_not_cut(self, path5):
+        assert not is_cut(path5, set(path5.nodes))
+
+
+class TestMinimality:
+    def test_one_cut_always_minimal(self, path5):
+        assert is_minimal_cut(path5, {2})
+
+    def test_pair_containing_cut_vertex_not_minimal(self, path5):
+        # {1, 2}: {1} alone is already a cut.
+        assert not is_minimal_cut(path5, {1, 2})
+
+    def test_cycle_pair_minimal(self, cycle6):
+        assert is_minimal_cut(cycle6, {0, 3})
+
+    def test_non_cut_not_minimal(self, cycle6):
+        assert not is_minimal_cut(cycle6, {0, 1})
+
+
+class TestCutVertices:
+    def test_path_interior_vertices(self, path5):
+        assert cut_vertices(path5) == {1, 2, 3}
+
+    def test_cycle_has_none(self, cycle6):
+        assert cut_vertices(cycle6) == set()
+
+    def test_star_hub(self, star6):
+        assert cut_vertices(star6) == {0}
+
+    def test_bridge_endpoints(self, two_triangles_bridge):
+        assert cut_vertices(two_triangles_bridge) == {2, 3}
+
+    def test_agrees_with_definition(self, small_zoo):
+        for g in small_zoo:
+            assert cut_vertices(g) == cut_vertices_by_definition(g)
+
+
+class TestTwoCuts:
+    def test_cycle_two_cuts_are_nonadjacent_pairs(self, cycle6):
+        cuts = set(two_cuts(cycle6))
+        expected = {
+            frozenset(p)
+            for p in [(0, 2), (0, 3), (0, 4), (1, 3), (1, 4), (1, 5), (2, 4), (2, 5), (3, 5)]
+        }
+        assert cuts == expected
+
+    def test_minimal_filters_cut_vertices(self, path5):
+        # On a path, any pair with an interior vertex contains a 1-cut.
+        assert minimal_two_cuts(path5) == []
+
+    def test_ladder_rungs_are_minimal_two_cuts(self, ladder5):
+        cuts = set(minimal_two_cuts(ladder5))
+        for i in range(1, 4):
+            assert frozenset({2 * i, 2 * i + 1}) in cuts
+
+    def test_complete_graph_has_no_two_cuts(self):
+        assert two_cuts(nx.complete_graph(5)) == []
+
+
+class TestCrossing:
+    def test_c6_opposite_cuts_cross(self, cycle6):
+        assert crossing_two_cuts(cycle6, {0, 3}, {1, 4})
+
+    def test_nested_cuts_do_not_cross(self):
+        g = gen.cycle(8)
+        assert not crossing_two_cuts(g, {0, 4}, {1, 3})
+
+    def test_sharing_vertex_never_crosses(self, cycle6):
+        assert not crossing_two_cuts(cycle6, {0, 3}, {3, 5})
+
+    def test_paper_c6_example_three_pairwise_crossing(self, cycle6):
+        # Section 5.3: the three "opposite" cuts of C6 pairwise cross,
+        # which is why three non-crossing families are needed.
+        cuts = [{0, 3}, {1, 4}, {2, 5}]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert crossing_two_cuts(cycle6, cuts[i], cuts[j])
+
+
+class TestComponents:
+    def test_components_after_removal(self, cycle6):
+        comps = components_after_removal(cycle6, {0, 3})
+        assert sorted(map(sorted, comps)) == [[1, 2], [4, 5]]
+
+    def test_attached_components_all_for_minimal_cut(self, cycle6):
+        comps = attached_components(cycle6, {0, 3})
+        assert len(comps) == 2

@@ -1,0 +1,172 @@
+"""Tests for Ding's structure components (fans, strips, augmentations)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.ding import (
+    Attachment,
+    Fan,
+    Strip,
+    augment,
+    chords_cross,
+    chords_of,
+    fan_flower,
+    is_type_one,
+    make_fan,
+    make_strip,
+    strip_radius,
+    type_one_graph,
+)
+from repro.graphs.minors import is_k2t_minor_free
+from repro.graphs.validation import check_simple_connected
+
+
+class TestTypeOne:
+    def test_plain_cycle_is_type_one(self):
+        g = nx.cycle_graph(8)
+        assert is_type_one(g, list(range(8)))
+
+    def test_non_crossing_chords_ok(self):
+        g = type_one_graph(8, [(0, 2), (4, 6)])
+        assert is_type_one(g, list(range(8)))
+
+    def test_allowed_crossing_pattern(self):
+        # chords {0,2} and {1,3} cross with 01 and 23 cycle edges: allowed.
+        g = type_one_graph(8, [(0, 2), (1, 3)])
+        assert is_type_one(g, list(range(8)))
+
+    def test_forbidden_far_crossing(self):
+        g = nx.cycle_graph(8)
+        g.add_edge(0, 4)
+        g.add_edge(2, 6)
+        assert not is_type_one(g, list(range(8)))
+
+    def test_triple_crossing_rejected(self):
+        g = nx.cycle_graph(10)
+        g.add_edges_from([(0, 5), (1, 6), (2, 7)])
+        assert not is_type_one(g, list(range(10)))
+
+    def test_type_one_graph_rejects_bad_chords(self):
+        with pytest.raises(ValueError):
+            type_one_graph(8, [(0, 4), (2, 6)])
+
+    def test_chords_of(self):
+        g = type_one_graph(8, [(0, 2)])
+        assert [tuple(sorted(c)) for c in chords_of(g, list(range(8)))] == [(0, 2)]
+
+    def test_chords_cross_detection(self):
+        order = list(range(8))
+        assert chords_cross(order, (0, 4), (2, 6))
+        assert not chords_cross(order, (0, 2), (4, 6))
+        assert not chords_cross(order, (0, 4), (4, 6))  # share a vertex
+
+
+class TestFan:
+    def test_make_fan_shape(self):
+        fan = make_fan(3)
+        assert isinstance(fan, Fan)
+        assert fan.length == 3
+        assert fan.graph.degree(fan.center) == 5  # length + 2 path vertices
+
+    def test_corners(self):
+        fan = make_fan(2, label_offset=10)
+        assert fan.corners == (10, 11, 14)
+
+    def test_fan_k23_free(self):
+        fan = make_fan(5)
+        assert is_k2t_minor_free(fan.graph, 3, node_limit=10)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            make_fan(0)
+
+
+class TestStrip:
+    def test_make_strip_shape(self):
+        strip = make_strip(4)
+        assert isinstance(strip, Strip)
+        assert strip.graph.number_of_nodes() == 8
+        assert len(strip.corners) == 4
+
+    def test_strip_min_degree_two(self):
+        strip = make_strip(5)
+        assert min(d for _, d in strip.graph.degree) >= 2
+
+    def test_crossed_strip_is_type_one(self):
+        strip = make_strip(6, crossed=True)
+        rungs = 6
+        top = list(range(rungs))
+        bottom = list(range(rungs, 2 * rungs))
+        cycle_order = top + list(reversed(bottom))
+        assert is_type_one(strip.graph, cycle_order)
+
+    def test_plain_strip_k25_free(self):
+        strip = make_strip(5)
+        assert is_k2t_minor_free(strip.graph, 5, node_limit=10)
+
+    def test_strip_radius_grows_with_length(self):
+        assert strip_radius(make_strip(8)) > strip_radius(make_strip(3))
+
+    def test_invalid_rungs(self):
+        with pytest.raises(ValueError):
+            make_strip(1)
+
+
+class TestAugment:
+    def test_fan_glued_by_center(self):
+        core = nx.complete_graph(3)
+        fan = make_fan(2, label_offset=50)
+        g = augment(core, [Attachment(piece=fan, glue={fan.center: 0})])
+        check_simple_connected(g)
+        assert g.number_of_nodes() == 3 + fan.graph.number_of_nodes() - 1
+
+    def test_strip_glued_by_two_corners(self):
+        core = nx.complete_graph(3)
+        strip = make_strip(3, label_offset=50)
+        a, b, _, _ = strip.corners
+        g = augment(core, [Attachment(piece=strip, glue={a: 0, b: 1})])
+        check_simple_connected(g)
+
+    def test_two_fan_centers_may_share(self):
+        core = nx.complete_graph(3)
+        f1 = make_fan(2, label_offset=50)
+        f2 = make_fan(2, label_offset=90)
+        g = augment(
+            core,
+            [
+                Attachment(piece=f1, glue={f1.center: 0}),
+                Attachment(piece=f2, glue={f2.center: 0}),
+            ],
+        )
+        check_simple_connected(g)
+
+    def test_two_strip_corners_may_not_share(self):
+        core = nx.complete_graph(3)
+        s1 = make_strip(3, label_offset=50)
+        s2 = make_strip(3, label_offset=90)
+        with pytest.raises(ValueError):
+            augment(
+                core,
+                [
+                    Attachment(piece=s1, glue={s1.corners[0]: 0}),
+                    Attachment(piece=s2, glue={s2.corners[0]: 0}),
+                ],
+            )
+
+    def test_glue_must_target_corners(self):
+        core = nx.complete_graph(3)
+        fan = make_fan(3, label_offset=50)
+        middle_path_vertex = 53
+        with pytest.raises(ValueError):
+            augment(core, [Attachment(piece=fan, glue={middle_path_vertex: 0})])
+
+    def test_glue_to_missing_core_vertex(self):
+        core = nx.complete_graph(3)
+        fan = make_fan(2, label_offset=50)
+        with pytest.raises(ValueError):
+            augment(core, [Attachment(piece=fan, glue={fan.center: 99})])
+
+    def test_fan_flower(self):
+        g = fan_flower(4, 3)
+        check_simple_connected(g)
+        assert g.number_of_nodes() > 3

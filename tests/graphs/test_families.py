@@ -1,0 +1,69 @@
+"""Tests for the family registry and validation helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.families import FAMILIES, get_family, table1_rows
+from repro.graphs.minors import largest_k2t_minor_singleton_hubs
+from repro.graphs.validation import (
+    assert_vertices_are_integers,
+    check_k2t_free_fast,
+    check_simple_connected,
+)
+
+
+class TestRegistry:
+    def test_all_families_generate(self):
+        for family in FAMILIES.values():
+            g = family.make(16, 0)
+            check_simple_connected(g)
+            assert_vertices_are_integers(g)
+
+    def test_generation_is_deterministic(self):
+        for family in FAMILIES.values():
+            a, b = family.make(14, 3), family.make(14, 3)
+            assert sorted(a.edges) == sorted(b.edges)
+
+    def test_declared_minor_freeness(self):
+        for family in FAMILIES.values():
+            if family.minor_free_t < 2:
+                continue  # families used as positive controls
+            g = family.make(18, 0)
+            assert largest_k2t_minor_singleton_hubs(g) < family.minor_free_t, family.name
+
+    def test_get_family_error_message(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            get_family("bogus")
+
+    def test_table1_rows_grouping(self):
+        rows = table1_rows()
+        assert "trees (K_3)" in rows
+        assert any("outerplanar" in key for key in rows)
+
+
+class TestValidation:
+    def test_check_simple_connected_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        with pytest.raises(ValueError, match="disconnected"):
+            check_simple_connected(g)
+
+    def test_check_simple_connected_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_simple_connected(nx.Graph())
+
+    def test_check_k2t_free_fast_flags_book(self):
+        from repro.graphs.generators import book
+
+        with pytest.raises(ValueError):
+            check_k2t_free_fast(book(5), 4)
+
+    def test_check_k2t_free_fast_accepts_tree(self, path5):
+        check_k2t_free_fast(path5, 3)
+
+    def test_integer_labels_rejected(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            assert_vertices_are_integers(g)

@@ -1,0 +1,155 @@
+"""Tests for deterministic graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.minors import is_k2t_minor_free, largest_k2t_minor_singleton_hubs
+from repro.graphs.validation import check_simple_connected
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = gen.path(6)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 5
+
+    def test_cycle(self):
+        g = gen.cycle(7)
+        assert all(g.degree(v) == 2 for v in g.nodes)
+        assert nx.is_connected(g)
+
+    def test_star(self):
+        g = gen.star(8)
+        assert g.degree(0) == 7
+        assert sum(1 for v in g if g.degree(v) == 1) == 7
+
+    def test_spider(self):
+        g = gen.spider(3, 4)
+        assert g.number_of_nodes() == 1 + 3 * 4
+        assert g.degree(0) == 3
+
+    def test_caterpillar(self):
+        g = gen.caterpillar(4, 2)
+        assert g.number_of_nodes() == 4 + 8
+        assert nx.is_tree(g)
+
+    def test_binary_tree(self):
+        g = gen.complete_binary_tree(3)
+        assert g.number_of_nodes() == 2 ** 4 - 1
+        assert nx.is_tree(g)
+
+    def test_binary_tree_depth_zero(self):
+        g = gen.complete_binary_tree(0)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+
+class TestPaperFamilies:
+    def test_fan_structure(self):
+        g = gen.fan(5)
+        assert g.degree(0) == 5
+        assert nx.is_connected(g)
+        # maximal outerplanar: 2n - 3 edges
+        assert g.number_of_edges() == 2 * 6 - 3
+
+    def test_fan_is_k23_free(self):
+        assert is_k2t_minor_free(gen.fan(6), 3, node_limit=7)
+
+    def test_wheel_minor_value(self):
+        # hub + a rim vertex at rim-distance 2 see three disjoint
+        # connectors (the middle vertex, the long arc, nothing more —
+        # every connector must touch the rim vertex's two neighbors).
+        assert largest_k2t_minor_singleton_hubs(gen.wheel(8)) == 3
+
+    def test_theta_minor_value(self):
+        for t in (3, 4):
+            g = gen.theta(t, 3)
+            assert largest_k2t_minor_singleton_hubs(g) == t
+
+    def test_theta_rejects_parallel_edges(self):
+        with pytest.raises(ValueError):
+            gen.theta(3, 1)
+
+    def test_book_contains_k2t_subgraph(self):
+        g = gen.book(5)
+        assert largest_k2t_minor_singleton_hubs(g) == 5
+
+    def test_clique_with_pendants_domination(self):
+        from repro.solvers.exact import minimum_dominating_set
+
+        g = gen.clique_with_pendants(5)
+        assert minimum_dominating_set(g) == {0}
+
+    def test_clique_with_pendants_two_cuts(self):
+        from repro.graphs.cuts import minimal_two_cuts
+
+        g = gen.clique_with_pendants(5)
+        cuts = set(minimal_two_cuts(g))
+        for v in range(1, 5):
+            assert frozenset({0, v}) in cuts
+
+    def test_maximal_outerplanar_edge_count(self):
+        g = gen.maximal_outerplanar(9)
+        assert g.number_of_edges() == 2 * 9 - 3
+
+    def test_maximal_outerplanar_k23_free(self):
+        assert is_k2t_minor_free(gen.maximal_outerplanar(9), 3, node_limit=9)
+
+    def test_cactus_chain(self):
+        g = gen.cactus_chain(3, 5)
+        check_simple_connected(g)
+        # cacti: every edge in at most one cycle => m < 3(n-1)/2
+        assert g.number_of_edges() <= 3 * (g.number_of_nodes() - 1) // 2
+
+    def test_ladder_shape(self):
+        g = gen.ladder(5)
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == 5 + 2 * 4
+
+    def test_fan_chain_cut_vertices(self):
+        from repro.graphs.cuts import cut_vertices
+
+        g = gen.fan_chain(3, 4)
+        assert len(cut_vertices(g)) >= 2
+
+    def test_long_cycle_with_chords_type_one(self):
+        from repro.graphs.ding import is_type_one
+
+        g = gen.long_cycle_with_chords(12, 3)
+        assert is_type_one(g, list(range(12)))
+
+    def test_grid(self):
+        g = gen.grid(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(2, 5)
+        assert g.number_of_edges() == 10
+
+
+class TestInvariants:
+    def test_all_generators_simple_connected(self, small_zoo):
+        for g in small_zoo:
+            check_simple_connected(g)
+
+    def test_integer_labels(self, small_zoo):
+        from repro.graphs.validation import assert_vertices_are_integers
+
+        for g in small_zoo:
+            assert_vertices_are_integers(g)
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            gen.path(0)
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+        with pytest.raises(ValueError):
+            gen.fan(0)
+        with pytest.raises(ValueError):
+            gen.ladder(0)
+        with pytest.raises(ValueError):
+            gen.book(0)
+        with pytest.raises(ValueError):
+            gen.grid(0, 3)

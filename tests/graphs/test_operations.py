@@ -1,0 +1,97 @@
+"""Tests for graph surgery and its minor-freeness contracts."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.minors import largest_k2t_minor_singleton_hubs
+from repro.graphs.operations import (
+    attach_pendants,
+    bridge_join,
+    disjoint_union_relabel,
+    graph_power,
+    subdivide,
+)
+from repro.graphs.util import r_components
+
+
+class TestSubdivide:
+    def test_counts(self, cycle6):
+        once = subdivide(cycle6)
+        assert once.number_of_nodes() == 12
+        assert once.number_of_edges() == 12
+
+    def test_zero_copies(self, path5):
+        copy = subdivide(path5, 0)
+        assert sorted(copy.edges) == sorted(path5.edges)
+        copy.add_edge(0, 4)
+        assert not path5.has_edge(0, 4)
+
+    def test_preserves_k2t_freeness(self):
+        g = gen.theta(3, 2)
+        assert largest_k2t_minor_singleton_hubs(g) == 3
+        assert largest_k2t_minor_singleton_hubs(subdivide(g)) == 3
+
+    def test_negative_rejected(self, path5):
+        with pytest.raises(ValueError):
+            subdivide(path5, -1)
+
+
+class TestPendants:
+    def test_counts(self, path5):
+        bushy = attach_pendants(path5, 2)
+        assert bushy.number_of_nodes() == 5 + 10
+
+    def test_minor_inert(self, cycle6):
+        assert largest_k2t_minor_singleton_hubs(
+            attach_pendants(cycle6, 2)
+        ) == largest_k2t_minor_singleton_hubs(cycle6)
+
+    def test_zero_is_copy(self, cycle6):
+        assert attach_pendants(cycle6, 0).number_of_nodes() == 6
+
+
+class TestBridgeJoin:
+    def test_connects(self):
+        joined = bridge_join(gen.cycle(5), gen.cycle(7))
+        assert nx.is_connected(joined)
+        assert joined.number_of_nodes() == 12
+        assert joined.number_of_edges() == 13
+
+    def test_bridge_preserves_minors(self):
+        left, right = gen.book(3), gen.cycle(6)
+        joined = bridge_join(left, right)
+        assert largest_k2t_minor_singleton_hubs(joined) == 3
+
+    def test_disjoint_union_offset(self):
+        joined, offset = disjoint_union_relabel(gen.path(3), gen.path(4))
+        assert offset == 3
+        assert joined.number_of_nodes() == 7
+        assert not nx.is_connected(joined)
+
+
+class TestGraphPower:
+    def test_square_of_path(self, path5):
+        squared = graph_power(path5, 2)
+        assert squared.has_edge(0, 2)
+        assert not squared.has_edge(0, 3)
+
+    def test_power_one_is_same(self, cycle6):
+        assert sorted(map(sorted, graph_power(cycle6, 1).edges)) == sorted(
+            map(sorted, cycle6.edges)
+        )
+
+    def test_r_components_match_power_components(self, path5):
+        # Section 3: r-components of S are components of G^r restricted
+        # to S — verify the two formulations agree.
+        subset = {0, 2, 4}
+        via_power = [
+            set(c) & subset
+            for c in nx.connected_components(graph_power(path5, 2).subgraph(subset))
+        ]
+        direct = r_components(path5, subset, 2)
+        assert sorted(map(sorted, via_power)) == sorted(map(sorted, direct))
+
+    def test_bad_power(self, path5):
+        with pytest.raises(ValueError):
+            graph_power(path5, 0)

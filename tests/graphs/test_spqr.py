@@ -1,0 +1,107 @@
+"""Tests for the triconnected decomposition and non-crossing families."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.cuts import minimal_two_cuts
+from repro.graphs.spqr import (
+    SkeletonNode,
+    crossing_graph,
+    decomposition_two_cuts,
+    noncrossing_families,
+    triconnected_decomposition,
+)
+from repro.core.interesting import interesting_cuts
+
+
+class TestDecomposition:
+    def test_cycle_is_s_leaf(self, cycle6):
+        root = triconnected_decomposition(cycle6)
+        assert root.kind == "S"
+        assert not root.children
+
+    def test_three_connected_is_r_leaf(self):
+        root = triconnected_decomposition(nx.complete_graph(5))
+        assert root.kind == "R"
+
+    def test_edge_is_q_leaf(self):
+        root = triconnected_decomposition(nx.path_graph(2))
+        assert root.kind == "Q"
+
+    def test_ladder_splits_on_rungs(self, ladder5):
+        root = triconnected_decomposition(ladder5)
+        assert root.children
+        cuts = decomposition_two_cuts(root)
+        assert cuts  # at least one virtual edge recorded
+
+    def test_leaves_are_basic(self, small_zoo):
+        for g in small_zoo:
+            if not nx.is_connected(g):
+                continue
+            root = triconnected_decomposition(g)
+            for leaf in root.leaves():
+                sk = leaf.skeleton
+                assert leaf.kind in ("S", "R", "Q", "P")
+                if leaf.kind == "S":
+                    assert all(sk.degree(v) == 2 for v in sk.nodes)
+
+    def test_disconnected_raises(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            triconnected_decomposition(g)
+
+    def test_all_nodes_enumerates(self, ladder5):
+        root = triconnected_decomposition(ladder5)
+        assert len(root.all_nodes()) >= len(root.leaves())
+
+
+class TestNonCrossing:
+    def test_c6_needs_three_families(self, cycle6):
+        # Section 5.3: the three opposite cuts of C6 pairwise cross.
+        cuts = [frozenset({0, 3}), frozenset({1, 4}), frozenset({2, 5})]
+        families = noncrossing_families(cycle6, cuts)
+        assert len(families) == 3
+
+    def test_ladder_rungs_alone_nest(self, ladder5):
+        # Pure rung cuts are parallel: a single family suffices.
+        rungs = [frozenset({2 * i, 2 * i + 1}) for i in range(1, 4)]
+        families = noncrossing_families(ladder5, rungs)
+        assert len(families) == 1
+
+    def test_families_internally_noncrossing(self, ladder5):
+        from repro.graphs.cuts import crossing_two_cuts
+
+        cuts = minimal_two_cuts(ladder5)
+        for family in noncrossing_families(ladder5, cuts):
+            for i, c1 in enumerate(family):
+                for c2 in family[i + 1:]:
+                    assert not crossing_two_cuts(ladder5, c1, c2)
+
+    def test_covering_families_at_most_three(self, small_zoo):
+        # Proposition 5.8: a suitable subset of interesting cuts covering
+        # every interesting vertex splits into <= 3 non-crossing families.
+        from repro.core.interesting import covering_noncrossing_families
+
+        for g in small_zoo:
+            families = covering_noncrossing_families(g)
+            assert len(families) <= 3, g
+
+    def test_covering_families_on_odd_cycle(self):
+        from repro.core.interesting import covering_noncrossing_families
+
+        families = covering_noncrossing_families(gen.cycle(7))
+        covered = set().union(*[set().union(*f) for f in families if f]) if families else set()
+        assert len(families) <= 3
+        # every vertex of C7 is interesting and must appear somewhere
+        assert covered == set(range(7))
+
+    def test_crossing_graph_structure(self, cycle6):
+        cuts = [frozenset({0, 3}), frozenset({1, 4}), frozenset({2, 5})]
+        cg = crossing_graph(cycle6, cuts)
+        assert cg.number_of_edges() == 3  # a triangle
+
+    def test_empty_cut_list(self, cycle6):
+        assert noncrossing_families(cycle6, []) == []

@@ -1,0 +1,107 @@
+"""Tests for structure recovery (fans, strips, outerplanarity)."""
+
+import networkx as nx
+
+from repro.graphs import generators as gen
+from repro.graphs.ding import make_fan, make_strip
+from repro.graphs.structure import (
+    find_attached_fans,
+    find_strip_segments,
+    is_outerplanar,
+    long_strip_forces_local_cuts,
+    structure_summary,
+)
+
+
+class TestOuterplanarity:
+    def test_positive_cases(self):
+        for g in (
+            gen.path(8),
+            gen.cycle(9),
+            gen.fan(7),
+            gen.ladder(6),
+            gen.maximal_outerplanar(9),
+            gen.cactus_chain(2, 5),
+        ):
+            assert is_outerplanar(g), g
+
+    def test_negative_cases(self):
+        for g in (
+            nx.complete_graph(4),
+            nx.complete_bipartite_graph(2, 3),
+            gen.wheel(5),
+            gen.grid(3, 3),
+        ):
+            assert not is_outerplanar(g), g
+
+    def test_tiny_graphs_trivially_outerplanar(self):
+        assert is_outerplanar(nx.complete_graph(3))
+        assert is_outerplanar(nx.path_graph(2))
+
+    def test_generator_validation_loop(self):
+        from repro.graphs.random_families import random_outerplanar
+
+        for seed in range(5):
+            assert is_outerplanar(random_outerplanar(12, seed))
+
+
+class TestFanRecovery:
+    def test_recovers_pure_fan(self):
+        fan = make_fan(4)
+        found = find_attached_fans(fan.graph)
+        assert any(
+            f["center"] == fan.center and len(f["path"]) == 6 for f in found
+        )
+
+    def test_path_order_is_consistent(self):
+        fan = make_fan(3)
+        found = [f for f in find_attached_fans(fan.graph) if f["center"] == fan.center]
+        path = found[0]["path"]
+        for a, b in zip(path, path[1:]):
+            assert fan.graph.has_edge(a, b)
+
+    def test_no_fans_in_cycle(self, cycle6):
+        assert find_attached_fans(cycle6) == []
+
+    def test_wheel_is_not_a_fan(self):
+        # the spoke graph of a wheel's hub is a cycle, not a path
+        g = gen.wheel(6)
+        assert all(f["center"] != 0 for f in find_attached_fans(g))
+
+    def test_min_length_filter(self):
+        fan = make_fan(1)  # 3 path vertices
+        assert find_attached_fans(fan.graph, min_length=3) == []
+
+
+class TestStripRecovery:
+    def test_ladder_rungs_form_one_segment(self):
+        g = gen.ladder(6)
+        segments = find_strip_segments(g)
+        assert len(segments) == 1
+        rungs = [frozenset({2 * i, 2 * i + 1}) for i in range(1, 5)]
+        for rung in rungs:
+            assert rung in segments[0]
+
+    def test_no_segments_without_cuts(self):
+        assert find_strip_segments(nx.complete_graph(5)) == []
+
+    def test_strip_from_ding_module(self):
+        strip = make_strip(6)
+        segments = find_strip_segments(strip.graph)
+        assert segments and max(len(s) for s in segments) >= 4
+
+    def test_lemma_4_2_mechanism(self):
+        for n in (6, 10):
+            assert long_strip_forces_local_cuts(gen.ladder(n), r=2)
+
+
+class TestSummary:
+    def test_summary_fields(self, fan5):
+        summary = structure_summary(fan5)
+        assert summary["outerplanar"]
+        assert summary["fan_count"] >= 1
+        assert summary["max_fan_length"] >= 3
+
+    def test_summary_on_grid(self):
+        summary = structure_summary(gen.grid(3, 3))
+        assert not summary["outerplanar"]

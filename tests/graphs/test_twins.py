@@ -1,0 +1,89 @@
+"""Tests for true-twin detection and removal."""
+
+import networkx as nx
+
+from repro.graphs import generators as gen
+from repro.graphs.twins import (
+    has_true_twins,
+    remove_true_twins,
+    true_twin_classes,
+    twin_representative,
+)
+from repro.analysis.domination import is_dominating_set
+from repro.solvers.exact import domination_number
+
+
+class TestTwinClasses:
+    def test_path_has_no_twins(self, path5):
+        assert not has_true_twins(path5)
+        assert all(len(c) == 1 for c in true_twin_classes(path5))
+
+    def test_clique_is_one_class(self):
+        g = nx.complete_graph(4)
+        classes = true_twin_classes(g)
+        assert classes == [{0, 1, 2, 3}]
+
+    def test_leaves_of_star_are_not_twins(self, star6):
+        # Leaves share the hub but are not adjacent to each other:
+        # N[l1] = {l1, hub} != {l2, hub} = N[l2].
+        assert not has_true_twins(star6)
+
+    def test_triangle_with_pendant(self):
+        g = nx.Graph([(0, 1), (1, 2), (2, 0), (0, 3)])
+        classes = {frozenset(c) for c in true_twin_classes(g)}
+        assert frozenset({1, 2}) in classes
+
+    def test_representative_is_minimum(self):
+        assert twin_representative({3, 1, 2}) == 1
+
+
+class TestRemoval:
+    def test_clique_collapses_to_single_vertex(self):
+        g = nx.complete_graph(5)
+        reduced, mapping = remove_true_twins(g)
+        assert reduced.number_of_nodes() == 1
+        assert set(mapping.values()) == {0}
+
+    def test_mapping_is_identity_without_twins(self, path5):
+        reduced, mapping = remove_true_twins(path5)
+        assert reduced.number_of_nodes() == 5
+        assert all(mapping[v] == v for v in path5.nodes)
+
+    def test_result_is_twin_free(self, small_zoo):
+        for g in small_zoo:
+            reduced, _ = remove_true_twins(g)
+            assert not has_true_twins(reduced)
+
+    def test_iterated_removal(self):
+        # K5 plus a pendant: clique classes shrink over iterations.
+        g = nx.complete_graph(5)
+        g.add_edge(0, 9)
+        reduced, _ = remove_true_twins(g)
+        assert not has_true_twins(reduced)
+        # Vertices 1..4 are mutual twins (all adjacent to 0 and each
+        # other); 0 is distinguished by the pendant.
+        assert reduced.number_of_nodes() == 3
+
+    def test_domination_number_preserved(self, small_zoo):
+        for g in small_zoo:
+            reduced, _ = remove_true_twins(g)
+            assert domination_number(reduced) == domination_number(g)
+
+    def test_reduced_mds_dominates_original(self, small_zoo):
+        from repro.solvers.exact import minimum_dominating_set
+
+        for g in small_zoo:
+            reduced, _ = remove_true_twins(g)
+            solution = minimum_dominating_set(reduced)
+            assert is_dominating_set(g, solution)
+
+    def test_original_graph_untouched(self):
+        g = nx.complete_graph(4)
+        remove_true_twins(g)
+        assert g.number_of_nodes() == 4
+
+    def test_mapping_path_compressed(self):
+        g = nx.complete_graph(6)
+        _, mapping = remove_true_twins(g)
+        for v, rep in mapping.items():
+            assert mapping[rep] == rep

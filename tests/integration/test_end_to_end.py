@@ -1,0 +1,75 @@
+"""End-to-end integration: every algorithm against every family,
+cross-validated on ratio, validity, and mode agreement."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.domination import is_dominating_set
+from repro.analysis.ratio import measure_ratio
+from repro.core.algorithm1 import algorithm1
+from repro.core.baselines import degree_two_dominating_set, full_gather_exact
+from repro.core.d2 import d2_dominating_set
+from repro.core.radii import RadiusPolicy
+from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+from repro.graphs.families import FAMILIES
+from repro.solvers.exact import minimum_dominating_set
+from repro.solvers.vc import is_vertex_cover
+
+
+ALGORITHMS = {
+    "algorithm1": lambda g: algorithm1(g),
+    "algorithm1_wide": lambda g: algorithm1(g, RadiusPolicy.practical(3, 4)),
+    "d2": d2_dominating_set,
+    "degree_two": degree_two_dominating_set,
+    "exact": full_gather_exact,
+}
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+def test_every_algorithm_on_every_family(family_name, algorithm_name):
+    graph = FAMILIES[family_name].make(18, 0)
+    result = ALGORITHMS[algorithm_name](graph)
+    assert is_dominating_set(graph, result.solution), (family_name, algorithm_name)
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+def test_algorithm1_ratio_below_bound_everywhere(family_name):
+    graph = FAMILIES[family_name].make(20, 1)
+    result = algorithm1(graph)
+    report = measure_ratio(graph, result.solution)
+    assert report.valid
+    assert report.ratio <= result.metadata["ratio_bound"]
+
+
+@pytest.mark.parametrize("family_name", ["tree", "cycle", "fan", "ladder", "cactus"])
+def test_simulation_agreement_per_family(family_name):
+    graph = FAMILIES[family_name].make(14, 2)
+    fast = algorithm1(graph, mode="fast")
+    simulated = algorithm1(graph, mode="simulate")
+    assert fast.solution == simulated.solution
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILIES))
+def test_vertex_cover_variants_per_family(family_name):
+    graph = FAMILIES[family_name].make(16, 0)
+    for runner in (local_cuts_vertex_cover, d2_vertex_cover):
+        result = runner(graph)
+        assert is_vertex_cover(graph, result.solution), (family_name, runner)
+
+
+def test_exact_is_never_beaten():
+    for family in FAMILIES.values():
+        graph = family.make(15, 0)
+        optimum = minimum_dominating_set(graph)
+        for name, runner in ALGORITHMS.items():
+            result = runner(graph)
+            assert len(result.solution) >= len(optimum), (family.name, name)
+
+
+def test_full_pipeline_report_scales():
+    from repro.experiments.report import full_report
+
+    text = full_report("tiny")
+    assert "Table 1" in text
+    assert "crossover" in text

@@ -1,0 +1,40 @@
+"""Tests for trace accounting."""
+
+from repro.local_model.instrumentation import RoundStats, Trace, payload_size
+
+
+class TestPayloadSize:
+    def test_scalar(self):
+        assert payload_size(42) == 1
+        assert payload_size("hello") == 1
+
+    def test_flat_list(self):
+        assert payload_size([1, 2, 3]) == 3
+
+    def test_nested(self):
+        assert payload_size([{1, 2}, (3, 4, 5)]) == 5
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_size({1: 2, 3: 4}) == 4
+
+    def test_empty_container_counts_one(self):
+        assert payload_size([]) == 1
+        assert payload_size({}) == 1
+
+
+class TestTrace:
+    def test_totals(self):
+        trace = Trace(
+            rounds=[
+                RoundStats(round_index=1, messages=4, payload_units=10),
+                RoundStats(round_index=2, messages=2, payload_units=30),
+            ]
+        )
+        assert trace.round_count == 2
+        assert trace.total_messages == 6
+        assert trace.total_payload == 40
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.round_count == 0
+        assert trace.total_messages == 0

@@ -1,0 +1,79 @@
+"""Tests for the port-numbered network."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.local_model.identifiers import shuffled_ids
+from repro.local_model.network import Network
+
+
+class TestConstruction:
+    def test_ports_sorted(self, cycle6):
+        net = Network(cycle6)
+        assert net.nodes[0].ports == [1, 5]
+
+    def test_size(self, path5):
+        assert Network(path5).size == 5
+
+    def test_default_identity_ids(self, path5):
+        net = Network(path5)
+        assert all(net.nodes[v].uid == v for v in path5.nodes)
+
+    def test_custom_ids(self, path5):
+        ids = shuffled_ids(path5, seed=1)
+        net = Network(path5, ids)
+        assert {net.nodes[v].uid for v in path5.nodes} == set(range(5))
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            Network(nx.Graph())
+
+    def test_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            Network(g)
+
+    def test_rejects_partial_ids(self, path5):
+        with pytest.raises(ValueError):
+            Network(path5, {0: 0, 1: 1})
+
+    def test_rejects_duplicate_ids(self, path5):
+        with pytest.raises(ValueError):
+            Network(path5, {v: 0 for v in path5.nodes})
+
+
+class TestDelivery:
+    def test_port_toward_inverse(self, cycle6):
+        net = Network(cycle6)
+        for v in cycle6.nodes:
+            for p, u in enumerate(net.nodes[v].ports):
+                assert net.nodes[u].ports[net.port_toward(u, v)] == v
+
+    def test_message_arrives_at_back_port(self, path5):
+        net = Network(path5)
+        # vertex 0 sends on its only port (to 1)
+        delivered = net.deliver({0: {0: "hello"}})
+        assert delivered == 1
+        # vertex 1's ports are [0, 2]; port 0 leads back to vertex 0
+        assert net.nodes[1].inbox == {0: "hello"}
+
+    def test_inboxes_cleared_each_round(self, path5):
+        net = Network(path5)
+        net.deliver({0: {0: "x"}})
+        net.deliver({})
+        assert net.nodes[1].inbox == {}
+
+    def test_simultaneous_exchange(self, path5):
+        net = Network(path5)
+        net.deliver({0: {0: "from0"}, 1: {0: "from1"}})
+        assert net.nodes[1].inbox[0] == "from0"
+        assert net.nodes[0].inbox[0] == "from1"
+
+    def test_uid_to_vertex_roundtrip(self, path5):
+        ids = shuffled_ids(path5, seed=2)
+        net = Network(path5, ids)
+        back = net.uid_to_vertex()
+        assert all(back[ids[v]] == v for v in path5.nodes)

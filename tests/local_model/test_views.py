@@ -1,0 +1,42 @@
+"""Tests for the View knowledge object."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.local_model.gather import gather_views
+from repro.local_model.views import View
+
+
+class TestView:
+    def test_neighbors(self, cycle6):
+        views, _ = gather_views(cycle6, 2)
+        assert views[0].neighbors() == {1, 5}
+
+    def test_known_ball_zero_is_center(self, path5):
+        views, _ = gather_views(path5, 2)
+        ball0 = views[2].known_ball(0)
+        assert set(ball0.nodes) == {2}
+
+    def test_known_ball_rejects_beyond_radius(self, path5):
+        views, _ = gather_views(path5, 1)
+        with pytest.raises(ValueError):
+            views[0].known_ball(2)
+
+    def test_component_knowledge_flag(self):
+        g = gen.star(5)
+        small, _ = gather_views(g, 1)
+        # radius 1 from a leaf: hub at distance 1 == radius -> unsure
+        assert not small[1].knows_whole_component()
+        large, _ = gather_views(g, 3)
+        assert large[1].knows_whole_component()
+
+    def test_manual_view_construction(self):
+        g = nx.path_graph(3)
+        view = View(center=0, graph=g, complete_radius=2, dist={0: 0, 1: 1, 2: 2})
+        assert view.known_ball(1).number_of_nodes() == 2
+
+    def test_dist_contains_center(self, cycle6):
+        views, _ = gather_views(cycle6, 2)
+        for view in views.values():
+            assert view.dist[view.center] == 0

@@ -1,0 +1,46 @@
+"""Hypothesis strategies for graphs used by the property-based tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import strategies as st
+
+
+@st.composite
+def random_trees(draw, min_nodes: int = 1, max_nodes: int = 24) -> nx.Graph:
+    """Uniform-ish random trees via random parent pointers."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        graph.add_edge(parent, v)
+    return graph
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 2, max_nodes: int = 14) -> nx.Graph:
+    """Connected graphs: a random tree plus random extra edges."""
+    graph = draw(random_trees(min_nodes, max_nodes))
+    n = graph.number_of_nodes()
+    extra = draw(st.integers(0, max(0, n)))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def sparse_connected_graphs(draw, min_nodes: int = 3, max_nodes: int = 16) -> nx.Graph:
+    """Connected graphs with at most n/3 extra edges (cut-rich)."""
+    graph = draw(random_trees(min_nodes, max_nodes))
+    n = graph.number_of_nodes()
+    extra = draw(st.integers(0, max(1, n // 3)))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,82 @@
+"""Property-based tests: cut and twin invariants."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.graphs.cuts import (
+    cut_vertices,
+    cut_vertices_by_definition,
+    is_minimal_cut,
+    minimal_two_cuts,
+)
+from repro.graphs.local_cuts import local_one_cuts, local_two_cuts
+from repro.graphs.twins import has_true_twins, remove_true_twins
+from repro.solvers.exact import domination_number
+
+from tests.property.strategies import connected_graphs, sparse_connected_graphs
+
+COMMON = dict(max_examples=40, deadline=None)
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_articulation_matches_definition(graph):
+    assert cut_vertices(graph) == cut_vertices_by_definition(graph)
+
+
+@given(sparse_connected_graphs())
+@settings(**COMMON)
+def test_minimal_two_cuts_are_minimal(graph):
+    for cut in minimal_two_cuts(graph):
+        assert is_minimal_cut(graph, cut)
+
+
+@given(sparse_connected_graphs(max_nodes=12))
+@settings(max_examples=30, deadline=None)
+def test_global_cut_vertices_are_local_cuts_at_large_radius(graph):
+    """A global 1-cut is an r-local 1-cut once r covers the graph."""
+    r = graph.number_of_nodes()
+    assert cut_vertices(graph) <= local_one_cuts(graph, r)
+
+
+@given(sparse_connected_graphs(max_nodes=12))
+@settings(max_examples=30, deadline=None)
+def test_local_cuts_at_full_radius_are_global(graph):
+    """At radius >= n, local and global 1-cuts coincide."""
+    r = graph.number_of_nodes()
+    assert local_one_cuts(graph, r) == cut_vertices(graph)
+
+
+@given(sparse_connected_graphs(max_nodes=10))
+@settings(max_examples=20, deadline=None)
+def test_local_two_cuts_disconnect_their_arena(graph):
+    from repro.graphs.cuts import is_cut
+    from repro.graphs.local_cuts import local_cut_subgraph
+
+    for cut in local_two_cuts(graph, 2, minimal=False):
+        arena = local_cut_subgraph(graph, set(cut), 2)
+        assert is_cut(arena, set(cut))
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_twin_removal_idempotent(graph):
+    reduced, _ = remove_true_twins(graph)
+    assert not has_true_twins(reduced)
+    again, mapping = remove_true_twins(reduced)
+    assert again.number_of_nodes() == reduced.number_of_nodes()
+
+
+@given(connected_graphs())
+@settings(max_examples=25, deadline=None)
+def test_twin_removal_preserves_domination_number(graph):
+    reduced, _ = remove_true_twins(graph)
+    assert domination_number(reduced) == domination_number(graph)
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_twin_mapping_covers_all_vertices(graph):
+    reduced, mapping = remove_true_twins(graph)
+    assert set(mapping) == set(graph.nodes)
+    assert set(mapping.values()) == set(reduced.nodes)

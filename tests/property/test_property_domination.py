@@ -1,0 +1,72 @@
+"""Property-based tests: domination invariants on random graphs."""
+
+from hypothesis import given, settings
+
+from repro.analysis.domination import is_dominating_set
+from repro.core.algorithm1 import algorithm1
+from repro.core.baselines import degree_two_dominating_set
+from repro.core.d2 import d2_dominating_set
+from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
+from repro.solvers.exact import minimum_dominating_set
+from repro.solvers.greedy import greedy_dominating_set
+from repro.solvers.tree_dp import tree_minimum_dominating_set
+
+from tests.property.strategies import connected_graphs, random_trees
+
+COMMON = dict(max_examples=40, deadline=None)
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_exact_solution_dominates(graph):
+    assert is_dominating_set(graph, minimum_dominating_set(graph))
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_bnb_matches_milp(graph):
+    assert len(bnb_minimum_dominating_set(graph)) == len(minimum_dominating_set(graph))
+
+
+@given(random_trees(min_nodes=2))
+@settings(**COMMON)
+def test_tree_dp_matches_milp(graph):
+    dp = tree_minimum_dominating_set(graph)
+    assert is_dominating_set(graph, dp)
+    assert len(dp) == len(minimum_dominating_set(graph))
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_greedy_dominates_and_is_not_better_than_opt(graph):
+    greedy = greedy_dominating_set(graph)
+    assert is_dominating_set(graph, greedy)
+    assert len(greedy) >= len(minimum_dominating_set(graph))
+
+
+@given(connected_graphs())
+@settings(max_examples=25, deadline=None)
+def test_algorithm1_always_dominates(graph):
+    result = algorithm1(graph)
+    assert is_dominating_set(graph, result.solution)
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_d2_always_dominates(graph):
+    result = d2_dominating_set(graph)
+    assert is_dominating_set(graph, result.solution)
+
+
+@given(connected_graphs())
+@settings(**COMMON)
+def test_degree_two_rule_dominates_connected_graphs(graph):
+    result = degree_two_dominating_set(graph)
+    assert is_dominating_set(graph, result.solution)
+
+
+@given(random_trees(min_nodes=3))
+@settings(**COMMON)
+def test_degree_two_rule_three_approx_on_trees(graph):
+    result = degree_two_dominating_set(graph)
+    assert len(result.solution) <= 3 * len(minimum_dominating_set(graph))

@@ -1,0 +1,51 @@
+"""Property-based tests: view gathering exactness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.util import ball
+from repro.local_model.gather import gather_views
+from repro.local_model.identifiers import shuffled_ids
+
+from tests.property.strategies import connected_graphs
+
+
+@given(connected_graphs(max_nodes=12), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_views_equal_true_balls(graph, radius):
+    views, _ = gather_views(graph, radius)
+    for v in graph.nodes:
+        true_ball = graph.subgraph(ball(graph, v, radius))
+        known = views[v].known_ball(radius)
+        assert set(known.nodes) == set(true_ball.nodes)
+        assert set(map(frozenset, known.edges)) == set(map(frozenset, true_ball.edges))
+
+
+@given(connected_graphs(max_nodes=12), st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_gather_identifier_equivariance(graph, seed):
+    """Relabeling identifiers relabels views, nothing else."""
+    ids = shuffled_ids(graph, seed=seed)
+    views_plain, _ = gather_views(graph, 2)
+    views_shuffled, _ = gather_views(graph, 2, ids)
+    for v in graph.nodes:
+        a, b = views_plain[v], views_shuffled[ids[v]]
+        mapped_nodes = {ids[u] for u in a.graph.nodes}
+        assert mapped_nodes == set(b.graph.nodes)
+        mapped_edges = {frozenset((ids[x], ids[y])) for x, y in a.graph.edges}
+        assert mapped_edges == set(map(frozenset, b.graph.edges))
+
+
+@given(connected_graphs(max_nodes=12))
+@settings(max_examples=25, deadline=None)
+def test_distances_exact_within_radius(graph):
+    radius = 2
+    views, _ = gather_views(graph, radius)
+    for v in graph.nodes:
+        view = views[v]
+        true_ball_dists = {
+            u: d for u, d in view.dist.items() if d <= radius
+        }
+        for u, d in true_ball_dists.items():
+            assert u in ball(graph, v, d)
+            assert u not in ball(graph, v, d - 1)

@@ -1,0 +1,55 @@
+"""Property-based tests: minor detection consistency."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.minors import (
+    edge_density_certificate,
+    largest_k2t_minor,
+    largest_k2t_minor_singleton_hubs,
+    max_connectors,
+)
+
+from tests.property.strategies import connected_graphs, sparse_connected_graphs
+
+
+@given(connected_graphs(max_nodes=10))
+@settings(max_examples=25, deadline=None)
+def test_singleton_hub_is_lower_bound(graph):
+    singleton = largest_k2t_minor_singleton_hubs(graph)
+    exact = largest_k2t_minor(graph, node_limit=10)
+    assert singleton <= exact
+
+
+@given(sparse_connected_graphs(max_nodes=10))
+@settings(max_examples=25, deadline=None)
+def test_minor_monotone_under_edge_deletion(graph):
+    """Deleting an edge cannot create a larger minor."""
+    base = largest_k2t_minor_singleton_hubs(graph)
+    edges = sorted(graph.edges)
+    if not edges:
+        return
+    smaller = graph.copy()
+    smaller.remove_edge(*edges[0])
+    assert largest_k2t_minor_singleton_hubs(smaller) <= base
+
+
+@given(connected_graphs(max_nodes=10))
+@settings(max_examples=25, deadline=None)
+def test_density_certificate_sound(graph):
+    """The density certificate may only fire when a minor truly exists."""
+    for t in (2, 3):
+        if edge_density_certificate(graph, t):
+            assert largest_k2t_minor(graph, node_limit=10) >= t
+
+
+@given(connected_graphs(max_nodes=10), st.integers(0, 9), st.integers(0, 9))
+@settings(max_examples=25, deadline=None)
+def test_connectors_bounded_by_degree(graph, a, b):
+    n = graph.number_of_nodes()
+    a, b = a % n, b % n
+    if a == b:
+        return
+    flow = max_connectors(graph, {a}, {b})
+    assert flow <= min(graph.degree(a), graph.degree(b))

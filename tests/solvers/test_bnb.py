@@ -1,0 +1,56 @@
+"""Tests for the branch-and-bound solver (cross-checked against MILP)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.domination import is_b_dominating_set, is_dominating_set
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_ding_augmentation, random_tree
+from repro.solvers.branch_and_bound import (
+    bnb_minimum_b_dominating_set,
+    bnb_minimum_dominating_set,
+)
+from repro.solvers.exact import minimum_b_dominating_set, minimum_dominating_set
+
+
+class TestAgainstMilp:
+    def test_same_sizes_on_zoo(self, small_zoo):
+        for g in small_zoo:
+            assert len(bnb_minimum_dominating_set(g)) == len(minimum_dominating_set(g))
+
+    def test_same_sizes_on_random_instances(self):
+        for seed in range(5):
+            g = random_tree(14, seed)
+            assert len(bnb_minimum_dominating_set(g)) == len(minimum_dominating_set(g))
+        for seed in range(3):
+            g = random_ding_augmentation(3, 2, seed)
+            assert len(bnb_minimum_dominating_set(g)) == len(minimum_dominating_set(g))
+
+    def test_b_domination_agreement(self, small_zoo):
+        for g in small_zoo:
+            targets = sorted(g.nodes)[1::2]
+            if not targets:
+                continue
+            a = bnb_minimum_b_dominating_set(g, targets)
+            b = minimum_b_dominating_set(g, targets)
+            assert len(a) == len(b)
+            assert is_b_dominating_set(g, a, targets)
+
+
+class TestBehaviour:
+    def test_validity(self, small_zoo):
+        for g in small_zoo:
+            assert is_dominating_set(g, bnb_minimum_dominating_set(g))
+
+    def test_deterministic(self, cycle6):
+        assert bnb_minimum_dominating_set(cycle6) == bnb_minimum_dominating_set(cycle6)
+
+    def test_empty_targets(self, path5):
+        assert bnb_minimum_b_dominating_set(path5, []) == set()
+
+    def test_infeasible_raises(self, path5):
+        with pytest.raises(ValueError):
+            bnb_minimum_b_dominating_set(path5, [0], candidates=[4])
+
+    def test_candidate_restriction(self, path5):
+        assert bnb_minimum_b_dominating_set(path5, [0], candidates=[0, 1]) in ({0}, {1})

@@ -1,0 +1,48 @@
+"""Tests for the greedy baseline."""
+
+import pytest
+
+from repro.analysis.domination import is_b_dominating_set, is_dominating_set
+from repro.graphs import generators as gen
+from repro.solvers.exact import domination_number
+from repro.solvers.greedy import greedy_b_dominating_set, greedy_dominating_set
+
+
+class TestGreedy:
+    def test_validity(self, small_zoo):
+        for g in small_zoo:
+            assert is_dominating_set(g, greedy_dominating_set(g))
+
+    def test_star_takes_hub(self, star6):
+        assert greedy_dominating_set(star6) == {0}
+
+    def test_fan_takes_apex(self, fan5):
+        assert greedy_dominating_set(fan5) == {0}
+
+    def test_never_better_than_optimum(self, small_zoo):
+        for g in small_zoo:
+            assert len(greedy_dominating_set(g)) >= domination_number(g)
+
+    def test_ln_delta_quality_on_zoo(self, small_zoo):
+        # crude sanity: greedy is within H(Delta+1) of optimal
+        import math
+
+        for g in small_zoo:
+            delta = max(dict(g.degree).values())
+            bound = (1 + math.log(delta + 1)) * domination_number(g)
+            assert len(greedy_dominating_set(g)) <= bound + 1
+
+    def test_b_variant_validity(self, cycle6):
+        targets = [0, 2]
+        solution = greedy_b_dominating_set(cycle6, targets)
+        assert is_b_dominating_set(cycle6, solution, targets)
+
+    def test_b_variant_empty(self, cycle6):
+        assert greedy_b_dominating_set(cycle6, []) == set()
+
+    def test_infeasible_raises(self, path5):
+        with pytest.raises(ValueError):
+            greedy_b_dominating_set(path5, [0], candidates=[4])
+
+    def test_deterministic_tie_break(self, cycle6):
+        assert greedy_dominating_set(cycle6) == greedy_dominating_set(cycle6)

@@ -1,0 +1,66 @@
+"""Tests for the linear-time tree MDS DP."""
+
+import networkx as nx
+
+from repro.analysis.domination import is_dominating_set
+from repro.graphs import generators as gen
+from repro.graphs.random_families import random_caterpillar, random_tree
+from repro.solvers.exact import domination_number
+from repro.solvers.tree_dp import tree_minimum_dominating_set
+
+
+class TestTreeDp:
+    def test_single_vertex(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert tree_minimum_dominating_set(g) == {0}
+
+    def test_single_edge(self):
+        g = nx.path_graph(2)
+        assert len(tree_minimum_dominating_set(g)) == 1
+
+    def test_path_values(self):
+        for n in range(1, 14):
+            g = gen.path(n)
+            solution = tree_minimum_dominating_set(g)
+            assert is_dominating_set(g, solution)
+            assert len(solution) == -(-n // 3)
+
+    def test_star(self, star6):
+        assert tree_minimum_dominating_set(star6) == {0}
+
+    def test_spider(self):
+        g = gen.spider(4, 3)
+        solution = tree_minimum_dominating_set(g)
+        assert is_dominating_set(g, solution)
+        assert len(solution) == domination_number(g)
+
+    def test_matches_milp_on_random_trees(self):
+        for seed in range(8):
+            g = random_tree(25, seed)
+            solution = tree_minimum_dominating_set(g)
+            assert is_dominating_set(g, solution)
+            assert len(solution) == domination_number(g)
+
+    def test_matches_milp_on_caterpillars(self):
+        for seed in range(4):
+            g = random_caterpillar(6, 3, seed)
+            solution = tree_minimum_dominating_set(g)
+            assert is_dominating_set(g, solution)
+            assert len(solution) == domination_number(g)
+
+    def test_forest(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2)])
+        g.add_edges_from([(10, 11)])
+        solution = tree_minimum_dominating_set(g)
+        assert is_dominating_set(g, solution)
+        assert len(solution) == 2
+
+    def test_empty_graph(self):
+        assert tree_minimum_dominating_set(nx.Graph()) == set()
+
+    def test_explicit_root_same_size(self):
+        g = random_tree(15, 3)
+        for root in list(g.nodes)[:5]:
+            assert len(tree_minimum_dominating_set(g, root)) == domination_number(g)
