@@ -1,0 +1,57 @@
+"""Batch-runner benchmark: `solve_many` serial vs process-parallel.
+
+Measures the wall time of a registry-driven sweep (every constant-round
+MDS algorithm over a mixed workload) through :func:`repro.api.solve_many`
+with and without worker processes, and asserts the parallel run returns
+exactly the serial run's results in the same order — the determinism
+contract every experiment relies on.
+"""
+
+import pytest
+
+from repro.api import RunConfig, solve_many
+from repro.experiments.workloads import make_workload
+
+ALGORITHMS = ["algorithm1", "d2", "degree_two", "greedy", "take_all"]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    fan = make_workload("fan", [12, 16])
+    ladder = make_workload("ladder", [12, 16])
+    return fan.labelled() + ladder.labelled()
+
+
+def _payload(reports):
+    return [
+        (r.algorithm, r.instance.get("family"), r.instance.get("size"),
+         sorted(r.solution, key=repr), r.rounds, r.ratio)
+        for r in reports
+    ]
+
+
+def test_parallel_matches_serial(instances):
+    config = RunConfig(validate="ratio")
+    serial = solve_many(instances, ALGORITHMS, config)
+    parallel = solve_many(instances, ALGORITHMS, config, workers=2)
+    assert _payload(serial) == _payload(parallel)
+
+
+def test_bench_solve_many_serial(benchmark, instances):
+    config = RunConfig(validate="ratio")
+    reports = benchmark.pedantic(
+        solve_many, args=(instances, ALGORITHMS, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["runs"] = len(reports)
+
+
+def test_bench_solve_many_workers2(benchmark, instances):
+    config = RunConfig(validate="ratio")
+    reports = benchmark.pedantic(
+        solve_many,
+        args=(instances, ALGORITHMS, config),
+        kwargs={"workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["runs"] = len(reports)

@@ -1,15 +1,9 @@
-"""Quickstart: run the paper's algorithms on a small K_{2,t}-free graph.
+"""Quickstart: the `repro.api` front door on a small K_{2,t}-free graph.
 
 Usage: python examples/quickstart.py
 """
 
-from repro import (
-    algorithm1,
-    d2_dominating_set,
-    minimum_dominating_set,
-    RadiusPolicy,
-)
-from repro.analysis import is_dominating_set, measure_ratio
+from repro import RadiusPolicy, RunConfig, list_algorithms, solve, solve_many
 from repro.graphs import generators
 
 
@@ -19,33 +13,52 @@ def main() -> None:
     graph = generators.fan(12)
     print(f"graph: fan with {graph.number_of_nodes()} vertices")
 
-    optimum = minimum_dominating_set(graph)
-    print(f"exact MDS: {sorted(optimum)} (size {len(optimum)})")
+    # Every registered algorithm is discoverable (same list the CLI uses).
+    names = [spec.name for spec in list_algorithms("mds")]
+    print(f"registered MDS algorithms: {', '.join(names)}")
 
-    # Theorem 4.1's Algorithm 1 with the practical radius preset.
-    result = algorithm1(graph, RadiusPolicy.practical())
-    report = measure_ratio(graph, result.solution, optimum)
+    # Theorem 4.1's Algorithm 1; validate="ratio" also solves the
+    # instance exactly and measures |ALG| / |OPT|.
+    report = solve(graph, "algorithm1", RunConfig(validate="ratio"))
     print(
-        f"Algorithm 1: {sorted(result.solution)} "
-        f"(size {result.size}, ratio {report.ratio:.2f}, "
-        f"rounds {result.rounds}, proven bound {result.metadata['ratio_bound']})"
+        f"Algorithm 1: {sorted(report.solution)} "
+        f"(size {report.size}, ratio {report.ratio:.2f}, "
+        f"rounds {report.rounds}, optimum {report.optimum_size}, "
+        f"proven bound {report.result.metadata['ratio_bound']})"
     )
-    print(f"  phase sizes: {result.phase_sizes()}")
-    assert is_dominating_set(graph, result.solution)
+    print(f"  phase sizes: {report.result.phase_sizes()}")
+    assert report.valid
 
-    # Theorem 4.4's 3-round D2 algorithm.
-    d2 = d2_dominating_set(graph)
-    d2_report = measure_ratio(graph, d2.solution, optimum)
+    # Theorem 4.4's 3-round D2 algorithm, same front door.
+    d2 = solve(graph, "d2", RunConfig(validate="ratio"))
     print(
         f"D2 (Thm 4.4): {sorted(d2.solution)} "
-        f"(size {d2.size}, ratio {d2_report.ratio:.2f}, rounds {d2.rounds})"
+        f"(size {d2.size}, ratio {d2.ratio:.2f}, rounds {d2.rounds})"
     )
-    assert is_dominating_set(graph, d2.solution)
+    assert d2.valid
 
-    # The same run through the real message-passing simulator: every
-    # vertex gathers its view and decides independently.
-    simulated = algorithm1(graph, RadiusPolicy.practical(), mode="simulate")
-    print(f"simulated per-node run agrees: {simulated.solution == result.solution}")
+    # The same run through the real message-passing simulator — the
+    # registry knows which algorithms support mode="simulate".
+    simulated = solve(
+        graph,
+        "algorithm1",
+        RunConfig(mode="simulate", policy=RadiusPolicy.practical()),
+    )
+    print(f"simulated per-node run agrees: {simulated.solution == report.solution}")
+
+    # Batch runs (instances x algorithms) keep deterministic ordering,
+    # optionally fanned out over worker processes.
+    batch = solve_many(
+        [generators.fan(8), generators.ladder(5)],
+        ["d2", "algorithm1"],
+        RunConfig(validate="ratio"),
+        workers=2,
+    )
+    for r in batch:
+        print(
+            f"  batch: {r.algorithm:10s} n={r.instance['n']:2d} "
+            f"size={r.size} ratio={r.ratio:.2f}"
+        )
 
 
 if __name__ == "__main__":

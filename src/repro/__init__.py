@@ -2,13 +2,31 @@
 Set on Graphs Excluding Large Minors* (Bonamy, Gavoille, Picavet,
 Wesolek; PODC 2025, arXiv:2504.01091).
 
-Public API highlights:
+The recommended entry point is the :mod:`repro.api` front door::
+
+    from repro import RunConfig, solve, solve_many, list_algorithms
+
+    report = solve(graph, "algorithm1", RunConfig(validate="ratio"))
+    print(report.size, report.ratio, report.rounds, report.valid)
+
+    # Batch sweeps, optionally process-parallel and order-deterministic:
+    reports = solve_many(
+        [graph_a, graph_b], ["d2", "algorithm1"],
+        RunConfig(validate="ratio"), workers=2,
+    )
+
+    for spec in list_algorithms("mds"):
+        print(spec.name, spec.modes, spec.guarantee)
+
+Layers underneath:
 
 * :func:`repro.algorithm1` — Theorem 4.1's 50-approximation LOCAL MDS
   algorithm for ``K_{2,t}``-minor-free graphs;
 * :func:`repro.algorithm2` — Theorem 4.3's asymptotic-dimension variant;
 * :func:`repro.d2_dominating_set` — Theorem 4.4's 3-round
   ``(2t−1)``-approximation;
+* :mod:`repro.api` — the algorithm registry, run configs/reports, and
+  the parallel batch runner;
 * :mod:`repro.local_model` — the deterministic LOCAL-model simulator;
 * :mod:`repro.graphs` — generators, local cuts, minors, covers;
 * :mod:`repro.solvers` — exact/baseline MDS and MVC solvers;
@@ -17,6 +35,20 @@ Public API highlights:
 * :mod:`repro.experiments` — the Table 1 / figure harnesses.
 """
 
+from repro.analysis.domination import is_dominating_set
+from repro.analysis.ratio import measure_ratio
+from repro.api import (
+    AlgorithmSpec,
+    RunConfig,
+    RunReport,
+    UnknownAlgorithmError,
+    UnsupportedModeError,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    solve,
+    solve_many,
+)
 from repro.core import (
     AlgorithmResult,
     RadiusPolicy,
@@ -29,27 +61,41 @@ from repro.core import (
     local_cuts_vertex_cover,
     take_all_vertices,
 )
+from repro.core.distributed_greedy import distributed_greedy_dominating_set
 from repro.solvers import (
     greedy_dominating_set,
     minimum_dominating_set,
     minimum_vertex_cover,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmResult",
+    "AlgorithmSpec",
     "RadiusPolicy",
+    "RunConfig",
+    "RunReport",
+    "UnknownAlgorithmError",
+    "UnsupportedModeError",
     "algorithm1",
     "algorithm2",
     "d2_dominating_set",
     "d2_vertex_cover",
     "degree_two_dominating_set",
+    "distributed_greedy_dominating_set",
     "full_gather_exact",
-    "local_cuts_vertex_cover",
-    "take_all_vertices",
+    "get_algorithm",
     "greedy_dominating_set",
+    "is_dominating_set",
+    "list_algorithms",
+    "local_cuts_vertex_cover",
+    "measure_ratio",
     "minimum_dominating_set",
     "minimum_vertex_cover",
+    "register_algorithm",
+    "solve",
+    "solve_many",
+    "take_all_vertices",
     "__version__",
 ]

@@ -1,0 +1,46 @@
+"""`repro.api` — the unified front door over every shipped algorithm.
+
+One registry, one config, one runner::
+
+    from repro.api import RunConfig, solve, solve_many, list_algorithms
+
+    report = solve(graph, "algorithm1", RunConfig(validate="ratio"))
+    print(report.size, report.ratio, report.rounds)
+
+    reports = solve_many(
+        [graph_a, graph_b], ["d2", "algorithm1"],
+        RunConfig(validate="ratio"), workers=2,
+    )
+
+All entry points (CLI, experiments, benchmarks, examples) go through
+this package, so registering a new algorithm once makes it appear in
+the CLI choices, `repro algorithms`, Table 1 suites, and sweeps.
+"""
+
+from repro.api import algorithms as _builtin  # noqa: F401  (registers specs)
+from repro.api.config import RunConfig, RunReport, instance_meta
+from repro.api.registry import (
+    AlgorithmSpec,
+    UnknownAlgorithmError,
+    UnsupportedModeError,
+    algorithm_names,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
+from repro.api.runner import solve, solve_many
+
+__all__ = [
+    "AlgorithmSpec",
+    "RunConfig",
+    "RunReport",
+    "UnknownAlgorithmError",
+    "UnsupportedModeError",
+    "algorithm_names",
+    "get_algorithm",
+    "instance_meta",
+    "list_algorithms",
+    "register_algorithm",
+    "solve",
+    "solve_many",
+]

@@ -1,0 +1,117 @@
+"""Run configuration and run reports: the currency of :mod:`repro.api`.
+
+A :class:`RunConfig` says *how* to run an algorithm (radius policy,
+execution mode, validation level, exact-solver backend); a
+:class:`RunReport` says *what happened* (the raw
+:class:`~repro.core.results.AlgorithmResult` plus instance metadata,
+wall time, validity, and the measured approximation ratio).  Both are
+plain picklable dataclasses so :func:`repro.api.solve_many` can ship
+them across process boundaries, and both round-trip through JSON via
+:func:`repro.io.run_report_to_dict` / :func:`repro.io.run_report_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.radii import RadiusPolicy
+from repro.core.results import AlgorithmResult
+
+MODES = ("fast", "simulate")
+VALIDATION_LEVELS = ("none", "valid", "ratio")
+SOLVER_BACKENDS = ("milp", "bnb")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to execute one algorithm run.
+
+    * ``policy`` — the :class:`RadiusPolicy` for policy-aware algorithms
+      (``None`` means the algorithm's registered default);
+    * ``mode`` — ``"fast"`` (centralized computation of the same set) or
+      ``"simulate"`` (true per-node message-passing execution); the
+      registry rejects modes an algorithm does not support;
+    * ``validate`` — ``"none"`` (trust the algorithm), ``"valid"``
+      (check the output is a dominating set / vertex cover), or
+      ``"ratio"`` (also solve the instance exactly and measure
+      |ALG|/|OPT|);
+    * ``solver`` — exact backend used by ``validate="ratio"`` and the
+      ``exact`` algorithm: ``"milp"`` (scipy/HiGHS) or ``"bnb"``
+      (pure-Python branch and bound).  MDS only — MVC optima always use
+      the MILP backend;
+    * ``seed`` — recorded in reports for provenance (instance generation
+      happens upstream; the algorithms themselves are deterministic).
+    """
+
+    policy: RadiusPolicy | None = None
+    mode: str = "fast"
+    validate: str = "valid"
+    solver: str = "milp"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        if self.validate not in VALIDATION_LEVELS:
+            raise ValueError(
+                f"unknown validation level {self.validate!r}; choose from {VALIDATION_LEVELS}"
+            )
+        if self.solver not in SOLVER_BACKENDS:
+            raise ValueError(
+                f"unknown solver backend {self.solver!r}; choose from {SOLVER_BACKENDS}"
+            )
+
+    def with_(self, **changes: object) -> "RunConfig":
+        """A copy with the given fields replaced (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`repro.api.solve` call produced.
+
+    ``instance`` always carries ``n`` and ``m``; callers that know more
+    (family, size, seed — e.g. :func:`repro.experiments.workloads.run_workload`)
+    merge it in.  ``valid``/``optimum_size``/``ratio`` are ``None`` when
+    the configured validation level did not compute them.
+    """
+
+    algorithm: str
+    problem: str
+    instance: dict = field(default_factory=dict)
+    result: AlgorithmResult | None = None
+    config: RunConfig = field(default_factory=RunConfig)
+    wall_time: float = 0.0
+    valid: bool | None = None
+    optimum_size: int | None = None
+    ratio: float | None = None
+
+    @property
+    def size(self) -> int:
+        return self.result.size if self.result is not None else 0
+
+    @property
+    def rounds(self) -> int:
+        return self.result.rounds if self.result is not None else 0
+
+    @property
+    def solution(self) -> set:
+        return self.result.solution if self.result is not None else set()
+
+
+def measured_ratio(size: int, optimum_size: int) -> float:
+    """|ALG| / |OPT| with the shared empty-optimum convention (cf.
+    :class:`repro.analysis.ratio.RatioReport`): 1.0 when both are
+    empty, infinite when only the optimum is."""
+    if optimum_size == 0:
+        return 1.0 if size == 0 else float("inf")
+    return size / optimum_size
+
+
+def instance_meta(graph, extra: Mapping | None = None) -> dict:
+    """The standard instance-metadata dict (``n``, ``m``, caller extras)."""
+    meta = {"n": graph.number_of_nodes(), "m": graph.number_of_edges()}
+    if extra:
+        meta.update(extra)
+    return meta

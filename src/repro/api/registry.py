@@ -1,0 +1,178 @@
+"""The global algorithm registry behind :mod:`repro.api`.
+
+Every MDS/MVC algorithm the reproduction ships registers an
+:class:`AlgorithmSpec` here — name, problem kind, supported execution
+modes, graph-class assumption, paper guarantee, and a uniform
+``run(graph, config)`` adapter.  All consumers (CLI choices, the batch
+runner, Table 1, benchmarks) discover algorithms through this registry,
+so a new algorithm registers once and appears everywhere.
+
+Register with the decorator::
+
+    @register_algorithm(
+        name="my_alg",
+        problem="mds",
+        summary="my 7-approximation",
+        modes=("fast",),
+    )
+    def _run_my_alg(graph, config):
+        return my_alg(graph)
+
+The adapter receives the full :class:`~repro.api.config.RunConfig`; it
+should honor ``config.policy`` and ``config.mode`` when the algorithm
+supports them and ignore the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import networkx as nx
+
+from repro.api.config import RunConfig
+from repro.core.radii import RadiusPolicy
+from repro.core.results import AlgorithmResult
+
+PROBLEMS = ("mds", "mvc")
+
+Adapter = Callable[[nx.Graph, RunConfig], AlgorithmResult]
+
+
+class UnknownAlgorithmError(KeyError):
+    """Lookup of a name no algorithm registered."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes the message; keep it readable.
+        return self.args[0] if self.args else ""
+
+
+class UnsupportedModeError(ValueError):
+    """An execution mode the algorithm does not support was requested."""
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: identity, capabilities, and adapter."""
+
+    name: str
+    problem: str
+    """``"mds"`` (dominating set) or ``"mvc"`` (vertex cover)."""
+    summary: str
+    run: Adapter
+    modes: tuple[str, ...] = ("fast",)
+    """Execution modes the algorithm supports (``fast``/``simulate``)."""
+    default_policy: Callable[[], RadiusPolicy] | None = None
+    """Factory for the policy used when ``config.policy`` is ``None``
+    (``None`` for policy-oblivious algorithms)."""
+    assumes: str = "any graph"
+    """Graph-class assumption under which the guarantee holds."""
+    guarantee: str = "-"
+    """The paper's approximation guarantee (display string)."""
+    round_complexity: str = "-"
+    """The paper's round count (display string)."""
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise ValueError(f"unknown problem {self.problem!r}; choose from {PROBLEMS}")
+        if not self.modes or any(m not in ("fast", "simulate") for m in self.modes):
+            raise ValueError(f"invalid modes {self.modes!r}")
+
+    @property
+    def supports_simulation(self) -> bool:
+        return "simulate" in self.modes
+
+    def policy_for(self, config: RunConfig) -> RadiusPolicy | None:
+        """The policy this run should use (config override, else default)."""
+        if config.policy is not None:
+            return config.policy
+        return self.default_policy() if self.default_policy is not None else None
+
+    def check_mode(self, mode: str) -> None:
+        """Raise :class:`UnsupportedModeError` unless ``mode`` is supported."""
+        if mode not in self.modes:
+            supported = "/".join(self.modes)
+            raise UnsupportedModeError(
+                f"algorithm {self.name!r} does not support mode {mode!r} "
+                f"(supported: {supported})"
+            )
+
+    def describe(self) -> dict:
+        """JSON-ready capability record (the `repro algorithms` payload)."""
+        return {
+            "name": self.name,
+            "problem": self.problem,
+            "modes": list(self.modes),
+            "assumes": self.assumes,
+            "guarantee": self.guarantee,
+            "rounds": self.round_complexity,
+            "default_policy": (
+                self.default_policy().label if self.default_policy is not None else None
+            ),
+            "summary": self.summary,
+        }
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(
+    *,
+    name: str,
+    problem: str,
+    summary: str,
+    modes: tuple[str, ...] = ("fast",),
+    default_policy: Callable[[], RadiusPolicy] | None = None,
+    assumes: str = "any graph",
+    guarantee: str = "-",
+    round_complexity: str = "-",
+    tags: tuple[str, ...] = (),
+) -> Callable[[Adapter], Adapter]:
+    """Decorator registering ``fn(graph, config) -> AlgorithmResult``."""
+
+    def decorate(fn: Adapter) -> Adapter:
+        spec = AlgorithmSpec(
+            name=name,
+            problem=problem,
+            summary=summary,
+            run=fn,
+            modes=tuple(modes),
+            default_policy=default_policy,
+            assumes=assumes,
+            guarantee=guarantee,
+            round_complexity=round_complexity,
+            tags=tuple(tags),
+        )
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        _REGISTRY[name] = spec
+        return fn
+
+    return decorate
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm, with a helpful error on typos."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; known: {known}"
+        ) from None
+
+
+def list_algorithms(problem: str | None = None) -> list[AlgorithmSpec]:
+    """All registered specs (optionally one problem kind), sorted by name."""
+    if problem is not None and problem not in PROBLEMS:
+        raise ValueError(f"unknown problem {problem!r}; choose from {PROBLEMS}")
+    return sorted(
+        (s for s in _REGISTRY.values() if problem is None or s.problem == problem),
+        key=lambda s: s.name,
+    )
+
+
+def algorithm_names(problem: str | None = None) -> list[str]:
+    """Registered names (optionally one problem kind), sorted."""
+    return [spec.name for spec in list_algorithms(problem)]

@@ -1,0 +1,148 @@
+"""`solve` / `solve_many`: the uniform front door over the registry.
+
+:func:`solve` runs one registered algorithm on one graph and returns a
+:class:`~repro.api.config.RunReport`; :func:`solve_many` fans a batch of
+``instances x algorithms`` out over a :class:`concurrent.futures.\
+ProcessPoolExecutor` while keeping the result order deterministic
+(instance-major, then the algorithm order as given) — the parallel run
+returns exactly the serial run's reports, in the same order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+import repro.api.algorithms  # noqa: F401  (populates the registry)
+from repro.api.config import RunConfig, RunReport, instance_meta, measured_ratio
+from repro.api.registry import AlgorithmSpec, get_algorithm
+from repro.analysis.domination import is_dominating_set
+from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
+from repro.solvers.exact import minimum_dominating_set
+from repro.solvers.vc import is_vertex_cover, minimum_vertex_cover
+
+
+def _optimum_size(graph: nx.Graph, spec: AlgorithmSpec, config: RunConfig) -> int:
+    """|OPT| for the spec's problem kind.
+
+    ``config.solver`` selects the MDS backend only; MVC optima always
+    use the MILP backend (no pure-Python MVC solver is shipped).
+    """
+    if spec.problem == "mvc":
+        return len(minimum_vertex_cover(graph))
+    if config.solver == "bnb":
+        return len(bnb_minimum_dominating_set(graph))
+    return len(minimum_dominating_set(graph))
+
+
+def _check_valid(graph: nx.Graph, spec: AlgorithmSpec, solution: set) -> bool:
+    if spec.problem == "mvc":
+        return is_vertex_cover(graph, solution)
+    return is_dominating_set(graph, solution)
+
+
+def solve(
+    graph: nx.Graph,
+    algorithm: str,
+    config: RunConfig | None = None,
+    *,
+    meta: Mapping | None = None,
+) -> RunReport:
+    """Run one registered algorithm on one graph.
+
+    ``meta`` (e.g. ``{"family": "fan", "size": 20, "seed": 0}``) is
+    merged into the report's instance record for provenance.  Raises
+    :class:`repro.api.registry.UnsupportedModeError` when ``config.mode``
+    is not in the algorithm's capability flags, and
+    :class:`repro.api.registry.UnknownAlgorithmError` on a bad name.
+    """
+    config = config or RunConfig()
+    spec = get_algorithm(algorithm)
+    spec.check_mode(config.mode)
+
+    start = time.perf_counter()
+    result = spec.run(graph, config)
+    wall_time = time.perf_counter() - start
+
+    valid: bool | None = None
+    optimum_size: int | None = None
+    ratio: float | None = None
+    if config.validate != "none":
+        valid = _check_valid(graph, spec, result.solution)
+    if config.validate == "ratio":
+        optimum_size = _optimum_size(graph, spec, config)
+        ratio = measured_ratio(result.size, optimum_size)
+
+    return RunReport(
+        algorithm=spec.name,
+        problem=spec.problem,
+        instance=instance_meta(graph, meta),
+        result=result,
+        config=config,
+        wall_time=wall_time,
+        valid=valid,
+        optimum_size=optimum_size,
+        ratio=ratio,
+    )
+
+
+def _normalise_instances(
+    instances: Iterable,
+) -> list[tuple[dict, nx.Graph]]:
+    """Accept graphs, ``(meta, graph)`` pairs, or a mix of both."""
+    out: list[tuple[dict, nx.Graph]] = []
+    for item in instances:
+        if isinstance(item, nx.Graph):
+            out.append(({}, item))
+        else:
+            meta, graph = item
+            out.append((dict(meta), graph))
+    return out
+
+
+def _solve_task(task: tuple[dict, nx.Graph, str, RunConfig]) -> RunReport:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    meta, graph, algorithm, config = task
+    return solve(graph, algorithm, config, meta=meta)
+
+
+def solve_many(
+    instances: Iterable,
+    algorithms: str | Sequence[str],
+    config: RunConfig | None = None,
+    *,
+    workers: int | None = None,
+) -> list[RunReport]:
+    """Run a batch of ``instances x algorithms`` through :func:`solve`.
+
+    ``instances`` may be bare graphs or ``(meta, graph)`` pairs (the
+    shape :func:`repro.io.read_corpus` returns).  ``workers`` > 1 runs
+    the batch in a process pool; ordering is deterministic either way:
+    instance-major, algorithms in the order given.  Capability checks
+    run *before* any work starts, so a bad mode/name fails fast instead
+    of mid-sweep.
+    """
+    config = config or RunConfig()
+    if isinstance(algorithms, str):
+        algorithm_list = [algorithms]
+    else:
+        algorithm_list = list(algorithms)
+    for name in algorithm_list:
+        get_algorithm(name).check_mode(config.mode)
+
+    tasks = [
+        (meta, graph, name, config)
+        for meta, graph in _normalise_instances(instances)
+        for name in algorithm_list
+    ]
+    if not tasks:
+        return []
+    if workers is None or workers <= 1:
+        return [_solve_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves submission order, giving parallel runs
+        # the exact serial ordering.
+        return list(pool.map(_solve_task, tasks))

@@ -1,10 +1,18 @@
 """Command-line interface: run the paper's algorithms on generated graphs.
 
+Everything is driven by the :mod:`repro.api` registry — the
+``--algorithm`` choices, the capability checks, and the ``compare``
+sweep are all derived from the registered :class:`~repro.api.AlgorithmSpec`
+records, so a newly registered algorithm appears here automatically.
+
 Examples::
 
     python -m repro run --family fan --size 20 --algorithm algorithm1
-    python -m repro run --family ladder --size 24 --algorithm d2 --simulate
-    python -m repro compare --family outerplanar --size 18 --seed 3
+    python -m repro run --family ladder --size 24 --algorithm algorithm1 --simulate
+    python -m repro run --family fan --size 16 --algorithm d2_vc --json
+    python -m repro compare --family outerplanar --size 18 --seed 3 --workers 2
+    python -m repro compare --family fan --size 16 --problem mvc
+    python -m repro algorithms
     python -m repro families
     python -m repro report --scale tiny
 """
@@ -12,29 +20,25 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 
-from repro.analysis.domination import is_dominating_set
-from repro.analysis.ratio import measure_ratio
 from repro.analysis.tables import format_table
-from repro.core.algorithm1 import algorithm1
-from repro.core.baselines import degree_two_dominating_set, full_gather_exact, take_all_vertices
-from repro.core.d2 import d2_dominating_set
-from repro.core.distributed_greedy import distributed_greedy_dominating_set
-from repro.core.radii import RadiusPolicy
+from repro.api import (
+    RunConfig,
+    UnsupportedModeError,
+    algorithm_names,
+    get_algorithm,
+    list_algorithms,
+    solve,
+    solve_many,
+)
+from repro.api.config import measured_ratio
 from repro.graphs.families import FAMILIES, get_family
+from repro.io import run_report_to_dict
 from repro.solvers.exact import minimum_dominating_set
-
-ALGORITHMS = {
-    "algorithm1": lambda g, simulate: algorithm1(
-        g, RadiusPolicy.practical(), mode="simulate" if simulate else "fast"
-    ),
-    "d2": lambda g, simulate: d2_dominating_set(g),
-    "degree_two": lambda g, simulate: degree_two_dominating_set(g),
-    "greedy": lambda g, simulate: distributed_greedy_dominating_set(g),
-    "take_all": lambda g, simulate: take_all_vertices(g),
-    "exact": lambda g, simulate: full_gather_exact(g),
-}
+from repro.solvers.vc import minimum_vertex_cover
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,49 +49,133 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--family", required=True, choices=sorted(FAMILIES))
     run.add_argument("--size", type=int, default=20)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--algorithm", required=True, choices=sorted(ALGORITHMS))
+    run.add_argument("--algorithm", required=True, choices=algorithm_names())
     run.add_argument(
         "--simulate",
         action="store_true",
-        help="true per-node message-passing execution (algorithm1 only)",
+        help="true per-node message-passing execution (capability-checked "
+        "against the registry; unsupported algorithms are an error)",
     )
+    run.add_argument("--json", action="store_true", help="emit the RunReport as JSON")
 
     compare = sub.add_parser("compare", help="run every algorithm on one instance")
     compare.add_argument("--family", required=True, choices=sorted(FAMILIES))
     compare.add_argument("--size", type=int, default=20)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--problem", default="mds", choices=["mds", "mvc"])
+    compare.add_argument(
+        "--workers", type=int, default=None,
+        help="process-parallel runs (deterministic ordering)",
+    )
+    compare.add_argument("--json", action="store_true", help="emit RunReports as JSON")
+
+    algorithms = sub.add_parser("algorithms", help="list registered algorithms")
+    algorithms.add_argument("--problem", default=None, choices=["mds", "mvc"])
+    algorithms.add_argument("--json", action="store_true", help="emit specs as JSON")
 
     sub.add_parser("families", help="list available graph families")
 
     report = sub.add_parser("report", help="regenerate every experiment table")
     report.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    report.add_argument(
+        "--workers", type=int, default=None,
+        help="process-parallel Table 1 regeneration",
+    )
     return parser
 
 
-def _cmd_run(args) -> int:
+def _instance(args):
     graph = get_family(args.family).make(args.size, args.seed)
-    result = ALGORITHMS[args.algorithm](graph, args.simulate)
-    optimum = minimum_dominating_set(graph)
-    report = measure_ratio(graph, result.solution, optimum)
+    meta = {"family": args.family, "size": args.size, "seed": args.seed}
+    return graph, meta
+
+
+def _cmd_run(args) -> int:
+    graph, meta = _instance(args)
+    config = RunConfig(
+        mode="simulate" if args.simulate else "fast", validate="ratio"
+    )
+    try:
+        report = solve(graph, args.algorithm, config, meta=meta)
+    except UnsupportedModeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "hint: `python -m repro algorithms` lists per-algorithm "
+            "capability flags",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(run_report_to_dict(report), indent=1))
+        return 0 if report.valid else 1
+    result = report.result
     print(f"family={args.family} n={graph.number_of_nodes()} m={graph.number_of_edges()}")
     print(f"algorithm={result.name} rounds={result.rounds}")
     print(f"solution ({result.size} vertices): {sorted(result.solution, key=repr)}")
-    print(f"optimum: {len(optimum)}  ratio: {report.ratio:.3f}  valid: {report.valid}")
+    print(
+        f"optimum: {report.optimum_size}  ratio: {report.ratio:.3f}  "
+        f"valid: {report.valid}"
+    )
     if result.phases:
         print(f"phases: {result.phase_sizes()}")
     return 0 if report.valid else 1
 
 
 def _cmd_compare(args) -> int:
-    graph = get_family(args.family).make(args.size, args.seed)
-    optimum = minimum_dominating_set(graph)
-    rows = []
-    for name in sorted(ALGORITHMS):
-        result = ALGORITHMS[name](graph, False)
-        report = measure_ratio(graph, result.solution, optimum)
-        rows.append([name, result.size, report.ratio, result.rounds, report.valid])
-    print(f"family={args.family} n={graph.number_of_nodes()} opt={len(optimum)}")
+    graph, meta = _instance(args)
+    # One exact solve for the shared ratio denominator (validate="ratio"
+    # inside solve_many would re-solve the same instance per algorithm).
+    if args.problem == "mvc":
+        optimum = len(minimum_vertex_cover(graph))
+    else:
+        optimum = len(minimum_dominating_set(graph))
+    config = RunConfig(validate="valid")
+    reports = solve_many(
+        [(meta, graph)],
+        algorithm_names(args.problem),
+        config,
+        workers=args.workers,
+    )
+    for report in reports:
+        report.optimum_size = optimum
+        report.ratio = measured_ratio(report.size, optimum)
+        # The ratio fields were computed (against the same deterministic
+        # exact optimum solve() would use), so record that level.
+        report.config = config.with_(validate="ratio")
+    if args.json:
+        print(json.dumps([run_report_to_dict(r) for r in reports], indent=1))
+        return 0
+    rows = [
+        [r.algorithm, r.size, r.ratio, r.rounds, r.valid]
+        for r in reports
+    ]
+    print(f"family={args.family} n={graph.number_of_nodes()} opt={optimum}")
     print(format_table(["algorithm", "size", "ratio", "rounds", "valid"], rows))
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    specs = list_algorithms(args.problem)
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=1))
+        return 0
+    rows = [
+        [
+            spec.name,
+            spec.problem,
+            "+".join(spec.modes),
+            spec.guarantee,
+            spec.round_complexity,
+            spec.assumes,
+        ]
+        for spec in specs
+    ]
+    print(
+        format_table(
+            ["algorithm", "problem", "modes", "paper ratio", "rounds", "assumes"],
+            rows,
+        )
+    )
     return 0
 
 
@@ -103,7 +191,7 @@ def _cmd_families() -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import full_report
 
-    print(full_report(args.scale))
+    print(full_report(args.scale, workers=args.workers))
     return 0
 
 
@@ -113,11 +201,32 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "algorithms":
+        return _cmd_algorithms(args)
     if args.command == "families":
         return _cmd_families()
     if args.command == "report":
         return _cmd_report(args)
     return 2
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the hand-maintained ALGORITHMS dict is gone; old
+    # imports get a registry-derived equivalent (same call shape).
+    if name == "ALGORITHMS":
+        warnings.warn(
+            "repro.cli.ALGORITHMS is deprecated; use repro.api.list_algorithms()"
+            " / repro.api.solve() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        def _runner(spec):
+            def call(graph, simulate):
+                mode = "simulate" if simulate and spec.supports_simulation else "fast"
+                return spec.run(graph, RunConfig(mode=mode))
+            return call
+        return {spec.name: _runner(spec) for spec in list_algorithms("mds")}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.core.results import AlgorithmResult
+from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
 from repro.solvers.exact import minimum_dominating_set
 
 Vertex = Hashable
@@ -61,23 +62,30 @@ def take_all_vertices(graph: nx.Graph) -> AlgorithmResult:
     )
 
 
-def full_gather_exact(graph: nx.Graph) -> AlgorithmResult:
+def full_gather_exact(graph: nx.Graph, solver: str = "milp") -> AlgorithmResult:
     """Exact MDS after gathering the whole graph (footnote 2).
 
     Charges ``diam(G) + 1`` rounds — the cost of every vertex learning
     ``G`` entirely — and returns the canonical optimal set every vertex
-    computes identically.
+    computes identically.  ``solver`` picks the exact backend:
+    ``"milp"`` (scipy/HiGHS) or ``"bnb"`` (pure-Python branch and
+    bound); both are deterministic and agree on the optimum size.
     """
     if graph.number_of_nodes() == 0:
         return AlgorithmResult(name="full_gather_exact", solution=set(), rounds=0)
     diameter = max(
         nx.diameter(graph.subgraph(c)) for c in nx.connected_components(graph)
     )
-    solution = minimum_dominating_set(graph)
+    if solver == "bnb":
+        solution = bnb_minimum_dominating_set(graph)
+    elif solver == "milp":
+        solution = minimum_dominating_set(graph)
+    else:
+        raise ValueError(f"unknown solver {solver!r}; choose 'milp' or 'bnb'")
     return AlgorithmResult(
         name="full_gather_exact",
         solution=solution,
         rounds=diameter + 1,
         phases={"exact": set(solution)},
-        metadata={"diameter": diameter},
+        metadata={"diameter": diameter, "solver": solver},
     )

@@ -14,7 +14,7 @@
   blocks recorded in EXPERIMENTS.md.
 """
 
-from repro.experiments.workloads import Workload, standard_suite
+from repro.experiments.workloads import Workload, run_workload, standard_suite
 from repro.experiments.table1 import table1_report, Table1Row
 from repro.experiments.sweeps import (
     ratio_vs_t,
@@ -27,6 +27,7 @@ from repro.experiments.figures import figure1_report, figure2_report
 
 __all__ = [
     "Workload",
+    "run_workload",
     "standard_suite",
     "table1_report",
     "Table1Row",

@@ -24,10 +24,17 @@ from repro.experiments.sweeps import (
 from repro.experiments.table1 import table1_report
 
 
-def full_report(scale: str = "small") -> str:
-    """Every experiment, rendered to one text block."""
+def full_report(scale: str = "small", workers: int | None = None) -> str:
+    """Every experiment, rendered to one text block.
+
+    ``workers`` parallelises the Table 1 regeneration (the dominant
+    cost) through :func:`repro.api.solve_many`.
+    """
     sections = [
-        ("Table 1 — constant-round MDS approximation landscape", table1_report(scale)),
+        (
+            "Table 1 — constant-round MDS approximation landscape",
+            table1_report(scale, workers=workers),
+        ),
         ("Figure 1 — Lemma 5.17/5.18 construction", figure1_report()),
         ("Figure 2 — Lemma 3.3 charging picture", figure2_report()),
         ("S1 — ratio vs t", render_rows(ratio_vs_t())),
@@ -49,8 +56,9 @@ def full_report(scale: str = "small") -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args()
-    print(full_report(args.scale))
+    print(full_report(args.scale, workers=args.workers))
 
 
 if __name__ == "__main__":

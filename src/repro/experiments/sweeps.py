@@ -2,6 +2,9 @@
 
 Each sweep returns plain data rows (lists of dicts) plus a renderer, so
 benchmarks can assert on the numbers and EXPERIMENTS.md can quote them.
+Algorithm executions go through the :mod:`repro.api` front door
+(:func:`repro.api.solve` with ``validate="ratio"``), so the sweeps
+measure exactly what the CLI and Table 1 run.
 """
 
 from __future__ import annotations
@@ -11,15 +14,12 @@ from typing import Sequence
 import networkx as nx
 
 from repro.analysis.lemmas import lemma_3_2_report, lemma_3_3_report
-from repro.analysis.ratio import measure_ratio
 from repro.analysis.tables import format_table
-from repro.core.algorithm1 import algorithm1
-from repro.core.baselines import full_gather_exact
-from repro.core.d2 import d2_dominating_set
+from repro.api import RunConfig, solve
+from repro.api.config import measured_ratio
 from repro.core.radii import RadiusPolicy
 from repro.graphs.generators import ladder
 from repro.graphs.random_families import random_ding_augmentation
-from repro.solvers.exact import minimum_dominating_set
 
 
 def _k2t_stress_instance(t: int, blocks: int = 4) -> nx.Graph:
@@ -55,18 +55,18 @@ def ratio_vs_t(ts: Sequence[int] = (3, 4, 5, 6, 8, 10)) -> list[dict]:
     rows = []
     for t in ts:
         graph = _k2t_stress_instance(t)
-        optimum = minimum_dominating_set(graph)
-        d2 = d2_dominating_set(graph)
-        alg1 = algorithm1(graph, RadiusPolicy.practical())
+        d2 = solve(graph, "d2", RunConfig(validate="ratio"))
+        # Reuse d2's exact optimum for the second ratio (one MILP per graph).
+        alg1 = solve(graph, "algorithm1", RunConfig(policy=RadiusPolicy.practical()))
         rows.append(
             {
                 "t": t,
                 "n": graph.number_of_nodes(),
-                "opt": len(optimum),
-                "d2_ratio": measure_ratio(graph, d2.solution, optimum).ratio,
+                "opt": d2.optimum_size,
+                "d2_ratio": d2.ratio,
                 "d2_bound": 2 * t - 1,
-                "alg1_ratio": measure_ratio(graph, alg1.solution, optimum).ratio,
-                "alg1_bound": alg1.metadata["ratio_bound"],
+                "alg1_ratio": measured_ratio(alg1.size, d2.optimum_size),
+                "alg1_bound": alg1.result.metadata["ratio_bound"],
             }
         )
     return rows
@@ -79,15 +79,14 @@ def ratio_vs_n(
     rows = []
     for n in sizes:
         graph = random_ding_augmentation(max(2, n // 8), max(1, n // 10), seed)
-        optimum = minimum_dominating_set(graph)
-        alg1 = algorithm1(graph, RadiusPolicy.practical())
-        d2 = d2_dominating_set(graph)
+        alg1 = solve(graph, "algorithm1", RunConfig(validate="ratio"))
+        d2 = solve(graph, "d2")
         rows.append(
             {
                 "n": graph.number_of_nodes(),
-                "opt": len(optimum),
-                "alg1_ratio": measure_ratio(graph, alg1.solution, optimum).ratio,
-                "d2_ratio": measure_ratio(graph, d2.solution, optimum).ratio,
+                "opt": alg1.optimum_size,
+                "alg1_ratio": alg1.ratio,
+                "d2_ratio": measured_ratio(d2.size, alg1.optimum_size),
             }
         )
     return rows
@@ -102,13 +101,13 @@ def rounds_vs_n(sizes: Sequence[int] = (8, 16, 24, 32)) -> list[dict]:
     rows = []
     for n in sizes:
         graph = ladder(n)
-        alg1 = algorithm1(graph, RadiusPolicy.practical())
-        d2 = d2_dominating_set(graph)
-        exact = full_gather_exact(graph)
+        alg1 = solve(graph, "algorithm1", RunConfig(validate="none"))
+        d2 = solve(graph, "d2", RunConfig(validate="none"))
+        exact = solve(graph, "exact", RunConfig(validate="none"))
         rows.append(
             {
                 "n": graph.number_of_nodes(),
-                "diameter": exact.metadata["diameter"],
+                "diameter": exact.result.metadata["diameter"],
                 "alg1_rounds": alg1.rounds,
                 "d2_rounds": d2.rounds,
                 "full_gather_rounds": exact.rounds,

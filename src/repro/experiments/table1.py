@@ -10,31 +10,24 @@ Paper rows (constant-round MDS approximation on H-minor-free classes):
 | K_{2,t}-minor-free     | 2t − 1      | 3            | D₂ (Theorem 4.4)    |
 | K_{2,t}-minor-free     | 50          | O_t(1)       | Alg. 1 (Thm 4.1)    |
 
-For every row we run the row's algorithm on its family suite and report
-the *measured* worst/mean ratio (exact MDS denominator) and the measured
-round count next to the paper's guarantee.  The reproduction claim is
-shape-level: measured ≤ guarantee everywhere, and the orderings between
-rows match the paper.
+For every row we run the row's algorithm (through the
+:mod:`repro.api` registry, so rows and CLI use the same adapters) on
+its family suite and report the *measured* worst/mean ratio (exact MDS
+denominator) and the measured round count next to the paper's
+guarantee.  The reproduction claim is shape-level: measured ≤ guarantee
+everywhere, and the orderings between rows match the paper.
+``workers`` fans the per-row instance batches out process-parallel via
+:func:`repro.api.solve_many`; results are deterministic either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
-import networkx as nx
-
-from repro.analysis.ratio import measure_ratio
+from repro.api import RunConfig
 from repro.analysis.tables import format_table
-from repro.core.algorithm1 import algorithm1
-from repro.core.baselines import degree_two_dominating_set, take_all_vertices
-from repro.core.d2 import d2_dominating_set
-from repro.core.distributed_greedy import distributed_greedy_dominating_set
 from repro.core.radii import RadiusPolicy
-from repro.core.results import AlgorithmResult
-from repro.experiments.workloads import Workload, make_workload
-from repro.solvers.exact import minimum_dominating_set
-from repro.solvers.greedy import greedy_dominating_set
+from repro.experiments.workloads import Workload, make_workload, run_workload
 
 
 @dataclass
@@ -54,38 +47,40 @@ class Table1Row:
 
 def _run_row(
     graph_class: str,
-    algorithm_name: str,
+    algorithm_label: str,
     paper_ratio: str,
     paper_rounds: str,
-    runner: Callable[[nx.Graph], AlgorithmResult],
+    algorithm: str,
+    config: RunConfig,
     workload: Workload,
+    workers: int | None = None,
 ) -> Table1Row:
-    ratios, rounds, valid = [], [], True
-    for graph in workload.instances:
-        result = runner(graph)
-        optimum = minimum_dominating_set(graph)
-        report = measure_ratio(graph, result.solution, optimum)
-        ratios.append(report.ratio)
-        rounds.append(result.rounds)
-        valid = valid and report.valid
+    reports = run_workload(workload, algorithm, config, workers=workers)
+    ratios = [r.ratio for r in reports]
+    rounds = [r.rounds for r in reports]
     return Table1Row(
         graph_class=graph_class,
-        algorithm=algorithm_name,
+        algorithm=algorithm_label,
         paper_ratio=paper_ratio,
         paper_rounds=paper_rounds,
         measured_ratio_mean=sum(ratios) / len(ratios),
         measured_ratio_max=max(ratios),
         measured_rounds_max=max(rounds),
-        instances=len(ratios),
-        all_valid=valid,
+        instances=len(reports),
+        all_valid=all(r.valid for r in reports),
     )
 
 
-def table1_rows(scale: str = "small", policy: RadiusPolicy | None = None) -> list[Table1Row]:
+def table1_rows(
+    scale: str = "small",
+    policy: RadiusPolicy | None = None,
+    workers: int | None = None,
+) -> list[Table1Row]:
     """Measure every row of Table 1 (plus a greedy reference row).
 
     ``policy`` overrides the radius policy of the Algorithm 1 rows
-    (default: the practical preset — see DESIGN.md's radius discussion).
+    (default: the practical preset — see DESIGN.md's radius discussion);
+    ``workers`` runs each row's instance batch process-parallel.
     """
     if policy is None:
         policy = RadiusPolicy.practical()
@@ -95,53 +90,49 @@ def table1_rows(scale: str = "small", policy: RadiusPolicy | None = None) -> lis
     def suite(name: str) -> Workload:
         return make_workload(name, sizes, seeds)
 
-    def alg1(graph: nx.Graph) -> AlgorithmResult:
-        return algorithm1(graph, policy)
-
-    def greedy(graph: nx.Graph) -> AlgorithmResult:
-        solution = greedy_dominating_set(graph)
-        return AlgorithmResult(name="greedy", solution=solution, rounds=len(solution))
+    measured = RunConfig(validate="ratio")
+    measured_alg1 = RunConfig(validate="ratio", policy=policy)
 
     rows = [
         _run_row(
             "trees (K_3)", "degree>=2 (folklore)", "3", "2",
-            degree_two_dominating_set, suite("tree"),
+            "degree_two", measured, suite("tree"), workers,
         ),
         _run_row(
             "outerplanar (K_4,K_2,3)", "D2 / Thm 4.4 (t=3)", "5", "3",
-            d2_dominating_set, suite("outerplanar"),
+            "d2", measured, suite("outerplanar"), workers,
         ),
         _run_row(
             "K_1,t-minor-free", "take all (folklore)", "t", "0",
-            take_all_vertices, suite("star"),
+            "take_all", measured, suite("star"), workers,
         ),
         _run_row(
             "K_2,t-minor-free", "D2 / Thm 4.4", "2t-1", "3",
-            d2_dominating_set, suite("ladder"),
+            "d2", measured, suite("ladder"), workers,
         ),
         _run_row(
             "K_2,t-minor-free", "Algorithm 1 / Thm 4.1", "50", "O_t(1)",
-            alg1, suite("ladder"),
+            "algorithm1", measured_alg1, suite("ladder"), workers,
         ),
         _run_row(
             "K_2,t-minor-free (ding)", "Algorithm 1 / Thm 4.1", "50", "O_t(1)",
-            alg1, suite("ding"),
+            "algorithm1", measured_alg1, suite("ding"), workers,
         ),
         _run_row(
             "reference", "centralized greedy", "ln(Delta)", "global",
-            greedy, suite("ding"),
+            "greedy_central", measured, suite("ding"), workers,
         ),
         _run_row(
             "reference", "distributed greedy", "ln(Delta)", "O(phases)",
-            distributed_greedy_dominating_set, suite("ding"),
+            "greedy", measured, suite("ding"), workers,
         ),
     ]
     return rows
 
 
-def table1_report(scale: str = "small") -> str:
+def table1_report(scale: str = "small", workers: int | None = None) -> str:
     """Render the measured Table 1 as aligned text."""
-    rows = table1_rows(scale)
+    rows = table1_rows(scale, workers=workers)
     headers = [
         "graph class", "algorithm", "paper ratio", "paper rounds",
         "ratio mean", "ratio max", "rounds max", "n", "valid",

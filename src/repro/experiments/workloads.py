@@ -2,7 +2,9 @@
 
 A :class:`Workload` is a named list of concrete graphs (family × sizes ×
 seeds), deliberately materialised up front so that every algorithm in a
-comparison sees *exactly* the same instances.
+comparison sees *exactly* the same instances.  Each instance carries a
+provenance record (family/size/seed) that :func:`run_workload` threads
+into the :class:`repro.api.RunReport` batch it produces.
 """
 
 from __future__ import annotations
@@ -12,19 +14,31 @@ from typing import Sequence
 
 import networkx as nx
 
+from repro.api import RunConfig, RunReport, solve_many
 from repro.graphs.families import get_family
 
 
 @dataclass
 class Workload:
-    """A reproducible batch of instances."""
+    """A reproducible batch of instances (with per-instance provenance)."""
 
     name: str
     instances: list[nx.Graph] = field(default_factory=list)
+    metas: list[dict] = field(default_factory=list)
+    """Parallel to ``instances``; empty for hand-built workloads."""
 
     @property
     def sizes(self) -> list[int]:
         return [g.number_of_nodes() for g in self.instances]
+
+    def labelled(self) -> list[tuple[dict, nx.Graph]]:
+        """``(meta, graph)`` pairs — the shape `solve_many` accepts."""
+        if len(self.metas) == len(self.instances):
+            return list(zip(self.metas, self.instances))
+        return [
+            ({"workload": self.name, "index": i}, g)
+            for i, g in enumerate(self.instances)
+        ]
 
 
 def make_workload(
@@ -32,10 +46,23 @@ def make_workload(
 ) -> Workload:
     """Materialise ``family × sizes × seeds`` deterministic instances."""
     family = get_family(family_name)
-    instances = [
-        family.make(size, seed) for size in sizes for seed in seeds
-    ]
-    return Workload(name=family_name, instances=instances)
+    instances, metas = [], []
+    for size in sizes:
+        for seed in seeds:
+            instances.append(family.make(size, seed))
+            metas.append({"family": family_name, "size": size, "seed": seed})
+    return Workload(name=family_name, instances=instances, metas=metas)
+
+
+def run_workload(
+    workload: Workload,
+    algorithms: str | Sequence[str],
+    config: RunConfig | None = None,
+    *,
+    workers: int | None = None,
+) -> list[RunReport]:
+    """Run registered algorithms over a workload via :func:`repro.api.solve_many`."""
+    return solve_many(workload.labelled(), algorithms, config, workers=workers)
 
 
 def standard_suite(scale: str = "small") -> dict[str, Workload]:

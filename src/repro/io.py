@@ -6,6 +6,10 @@ graphs, algorithm results, and sweep tables to a stable JSON layout.
 * graphs — ``{"nodes": [...], "edges": [[u, v], ...], "meta": {...}}``
   with sorted nodes/edges so files are diff-able;
 * results — name/solution/rounds/phases/metadata;
+* run reports — the :class:`repro.api.RunReport` records produced by
+  :func:`repro.api.solve`, via :func:`run_report_to_dict` /
+  :func:`run_report_from_dict` (and file-level :func:`save_run_reports`
+  / :func:`load_run_reports`);
 * corpora — a directory of instances addressed by family/size/seed,
   written by :func:`write_corpus` and reloaded by :func:`read_corpus`.
 """
@@ -67,6 +71,88 @@ def result_from_dict(data: dict) -> AlgorithmResult:
         round_breakdown=dict(data.get("round_breakdown", {})),
         metadata=dict(data.get("metadata", {})),
     )
+
+
+def run_config_to_dict(config: "RunConfig") -> dict:
+    """JSON-ready dict for a :class:`repro.api.RunConfig`."""
+    policy = config.policy
+    return {
+        "policy": None
+        if policy is None
+        else {
+            "one_cut_radius": policy.one_cut_radius,
+            "two_cut_radius": policy.two_cut_radius,
+            "dimension": policy.dimension,
+            "label": policy.label,
+        },
+        "mode": config.mode,
+        "validate": config.validate,
+        "solver": config.solver,
+        "seed": config.seed,
+    }
+
+
+def run_config_from_dict(data: dict) -> "RunConfig":
+    """Inverse of :func:`run_config_to_dict`."""
+    from repro.api.config import RunConfig
+    from repro.core.radii import RadiusPolicy
+
+    policy = None
+    if data.get("policy") is not None:
+        policy = RadiusPolicy(**data["policy"])
+    return RunConfig(
+        policy=policy,
+        mode=data.get("mode", "fast"),
+        validate=data.get("validate", "valid"),
+        solver=data.get("solver", "milp"),
+        seed=data.get("seed", 0),
+    )
+
+
+def run_report_to_dict(report: "RunReport") -> dict:
+    """JSON-ready dict for a :class:`repro.api.RunReport`."""
+    return {
+        "algorithm": report.algorithm,
+        "problem": report.problem,
+        "instance": {k: v for k, v in report.instance.items() if _jsonable(v)},
+        "result": None if report.result is None else result_to_dict(report.result),
+        "config": run_config_to_dict(report.config),
+        "wall_time": report.wall_time,
+        "valid": report.valid,
+        "optimum_size": report.optimum_size,
+        "ratio": report.ratio,
+    }
+
+
+def run_report_from_dict(data: dict) -> "RunReport":
+    """Inverse of :func:`run_report_to_dict`."""
+    from repro.api.config import RunReport
+
+    result = None
+    if data.get("result") is not None:
+        result = result_from_dict(data["result"])
+    return RunReport(
+        algorithm=data["algorithm"],
+        problem=data["problem"],
+        instance=dict(data.get("instance", {})),
+        result=result,
+        config=run_config_from_dict(data.get("config", {})),
+        wall_time=data.get("wall_time", 0.0),
+        valid=data.get("valid"),
+        optimum_size=data.get("optimum_size"),
+        ratio=data.get("ratio"),
+    )
+
+
+def save_run_reports(reports: "Iterable[RunReport]", path: str | Path) -> None:
+    """Persist a batch of run reports (e.g. a `solve_many` sweep)."""
+    payload = [run_report_to_dict(r) for r in reports]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_run_reports(path: str | Path) -> "list[RunReport]":
+    """Inverse of :func:`save_run_reports`."""
+    return [run_report_from_dict(d) for d in json.loads(Path(path).read_text())]
 
 
 def _jsonable(value: object) -> bool:

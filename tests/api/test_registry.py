@@ -1,0 +1,116 @@
+"""Registry completeness: every consumer-visible algorithm resolves and
+its spec's adapter agrees with the underlying callable."""
+
+import pytest
+
+from repro.api import (
+    RunConfig,
+    UnknownAlgorithmError,
+    UnsupportedModeError,
+    algorithm_names,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+)
+from repro.core.algorithm1 import algorithm1
+from repro.core.baselines import (
+    degree_two_dominating_set,
+    full_gather_exact,
+    take_all_vertices,
+)
+from repro.core.d2 import d2_dominating_set
+from repro.core.distributed_greedy import distributed_greedy_dominating_set
+from repro.core.radii import RadiusPolicy
+from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+from repro.graphs import generators
+
+
+DIRECT_CALLS = {
+    "algorithm1": lambda g: algorithm1(g, RadiusPolicy.practical()),
+    "d2": d2_dominating_set,
+    "degree_two": degree_two_dominating_set,
+    "take_all": take_all_vertices,
+    "greedy": distributed_greedy_dominating_set,
+    "exact": full_gather_exact,
+    "d2_vc": d2_vertex_cover,
+    "local_cuts_vc": lambda g: local_cuts_vertex_cover(g, RadiusPolicy.practical()),
+}
+
+
+class TestRegistryCompleteness:
+    def test_cli_algorithm_set(self):
+        names = set(algorithm_names())
+        # Everything the old hand-maintained CLI dict had, and more.
+        assert {
+            "algorithm1", "algorithm2", "d2", "degree_two",
+            "greedy", "take_all", "exact",
+        } <= names
+        assert {"d2_vc", "local_cuts_vc", "exact_vc"} <= names
+
+    def test_problem_partition(self):
+        mds = algorithm_names("mds")
+        mvc = algorithm_names("mvc")
+        assert set(mds) | set(mvc) == set(algorithm_names())
+        assert not set(mds) & set(mvc)
+        assert all(get_algorithm(n).problem == "mds" for n in mds)
+
+    @pytest.mark.parametrize("name", sorted(DIRECT_CALLS))
+    def test_spec_agrees_with_direct_call(self, name):
+        graph = generators.fan(9)
+        spec = get_algorithm(name)
+        via_registry = spec.run(graph, RunConfig())
+        direct = DIRECT_CALLS[name](graph)
+        assert via_registry.solution == direct.solution
+        assert via_registry.rounds == direct.rounds
+
+    def test_algorithm2_is_policy_renamed_algorithm1(self):
+        graph = generators.ladder(5)
+        spec = get_algorithm("algorithm2")
+        result = spec.run(graph, RunConfig())
+        assert result.name == "algorithm2"
+        assert result.solution == algorithm1(graph, RadiusPolicy.practical()).solution
+        assert result.metadata["dimension"] == 1
+
+
+class TestCapabilities:
+    def test_simulation_flags(self):
+        assert get_algorithm("algorithm1").supports_simulation
+        assert get_algorithm("local_cuts_vc").supports_simulation
+        assert not get_algorithm("d2").supports_simulation
+        assert not get_algorithm("exact").supports_simulation
+
+    def test_check_mode_raises_for_unsupported(self):
+        with pytest.raises(UnsupportedModeError, match="does not support"):
+            get_algorithm("d2").check_mode("simulate")
+        get_algorithm("d2").check_mode("fast")  # no raise
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        for spec in list_algorithms():
+            payload = spec.describe()
+            assert json.loads(json.dumps(payload))["name"] == spec.name
+
+    def test_default_policies(self):
+        assert get_algorithm("algorithm1").default_policy() == RadiusPolicy.practical()
+        assert get_algorithm("d2").default_policy is None
+
+
+class TestRegistration:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(UnknownAlgorithmError, match="algorithm1"):
+            get_algorithm("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm(name="d2", problem="mds", summary="dup")(
+                lambda g, c: None
+            )
+
+    def test_bad_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            register_algorithm(name="zzz_bad", problem="tsp", summary="x")(
+                lambda g, c: None
+            )
+        with pytest.raises(ValueError):
+            list_algorithms("tsp")

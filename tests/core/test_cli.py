@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import algorithm_names
 from repro.cli import main
 
 
@@ -27,12 +30,78 @@ class TestCli:
         )
         assert code == 0
 
+    def test_run_simulate_unsupported_is_clear_error(self, capsys):
+        code = main(
+            ["run", "--family", "tree", "--size", "12", "--algorithm", "d2", "--simulate"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not support mode 'simulate'" in err
+        assert "repro algorithms" in err
+
+    def test_run_json(self, capsys):
+        code = main(
+            ["run", "--family", "fan", "--size", "12", "--algorithm", "d2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "d2"
+        assert payload["valid"] is True
+        assert payload["instance"]["family"] == "fan"
+
     def test_compare(self, capsys):
         code = main(["compare", "--family", "ladder", "--size", "12"])
         assert code == 0
         out = capsys.readouterr().out
         assert "algorithm1" in out
         assert "exact" in out
+
+    def test_compare_derives_choices_from_registry(self, capsys):
+        code = main(["compare", "--family", "fan", "--size", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names("mds"):
+            assert name in out
+
+    def test_compare_workers_matches_serial(self, capsys):
+        assert main(["compare", "--family", "fan", "--size", "12", "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["compare", "--family", "fan", "--size", "12", "--json", "--workers", "2"]
+        ) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_walltime(text):
+            return [
+                {k: v for k, v in report.items() if k != "wall_time"}
+                for report in json.loads(text)
+            ]
+
+        assert strip_walltime(serial) == strip_walltime(parallel)
+
+    def test_compare_mvc(self, capsys):
+        code = main(["compare", "--family", "fan", "--size", "10", "--problem", "mvc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "d2_vc" in out
+        assert "local_cuts_vc" in out
+
+    def test_algorithms_table(self, capsys):
+        code = main(["algorithms"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in algorithm_names():
+            assert name in out
+        assert "fast+simulate" in out
+
+    def test_algorithms_json(self, capsys):
+        code = main(["algorithms", "--problem", "mds", "--json"])
+        assert code == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert sorted(s["name"] for s in specs) == algorithm_names("mds")
+        by_name = {s["name"]: s for s in specs}
+        assert "simulate" in by_name["algorithm1"]["modes"]
+        assert "simulate" not in by_name["d2"]["modes"]
 
     def test_families(self, capsys):
         code = main(["families"])
@@ -52,3 +121,14 @@ class TestCli:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--family", "fan", "--algorithm", "nope"])
+
+    def test_algorithms_dict_shim_deprecated(self):
+        import warnings
+
+        import repro.cli as cli
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            algorithms = cli.ALGORITHMS
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert set(algorithm_names("mds")) == set(algorithms)
