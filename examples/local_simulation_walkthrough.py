@@ -57,6 +57,18 @@ def main() -> None:
     back = {uid: vertex for vertex, uid in ids.items()}
     print(f"as graph vertices: {sorted(back[uid] for uid in members)}")
 
+    # 4. The layers above sit behind one front door: repro.api.simulate
+    #    drives the same engine from a declarative spec (model, trace
+    #    policy, fault plan, identifier scheme) — this is what the CLI's
+    #    `repro simulate` and the experiment sweeps call.
+    from repro.api import SimulationSpec, simulate
+
+    report = simulate(graph, SimulationSpec(algorithm="d2", ids="spread", trace="full"))
+    print(
+        f"\nfront door: D2 on the engine in {report.rounds} rounds, "
+        f"{report.total_messages} messages; chosen = {sorted(report.chosen)}"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -25,9 +25,11 @@ Layers underneath:
 * :func:`repro.algorithm2` — Theorem 4.3's asymptotic-dimension variant;
 * :func:`repro.d2_dominating_set` — Theorem 4.4's 3-round
   ``(2t−1)``-approximation;
-* :mod:`repro.api` — the algorithm registry, run configs/reports, and
-  the parallel batch runner;
-* :mod:`repro.local_model` — the deterministic LOCAL-model simulator;
+* :mod:`repro.api` — the algorithm registry, run configs/reports, the
+  parallel batch runner, and the :func:`repro.simulate` /
+  :func:`repro.simulate_many` simulation front door;
+* :mod:`repro.local_model` — the unified round-model simulation engine
+  (pluggable LOCAL/CONGEST schedulers, fault plans, trace policies);
 * :mod:`repro.graphs` — generators, local cuts, minors, covers;
 * :mod:`repro.solvers` — exact/baseline MDS and MVC solvers;
 * :mod:`repro.analysis` — validity checks, ratio measurement, lemma
@@ -39,13 +41,18 @@ from repro.analysis.domination import is_dominating_set
 from repro.analysis.ratio import measure_ratio
 from repro.api import (
     AlgorithmSpec,
+    FaultPlan,
     RunConfig,
     RunReport,
+    SimReport,
+    SimulationSpec,
     UnknownAlgorithmError,
     UnsupportedModeError,
     get_algorithm,
     list_algorithms,
     register_algorithm,
+    simulate,
+    simulate_many,
     solve,
     solve_many,
 )
@@ -73,9 +80,12 @@ __version__ = "1.1.0"
 __all__ = [
     "AlgorithmResult",
     "AlgorithmSpec",
+    "FaultPlan",
     "RadiusPolicy",
     "RunConfig",
     "RunReport",
+    "SimReport",
+    "SimulationSpec",
     "UnknownAlgorithmError",
     "UnsupportedModeError",
     "algorithm1",
@@ -94,6 +104,8 @@ __all__ = [
     "minimum_dominating_set",
     "minimum_vertex_cover",
     "register_algorithm",
+    "simulate",
+    "simulate_many",
     "solve",
     "solve_many",
     "take_all_vertices",

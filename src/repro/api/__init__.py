@@ -12,6 +12,19 @@ One registry, one config, one runner::
         RunConfig(validate="ratio"), workers=2,
     )
 
+The distributed counterpart goes through the same door: a
+:class:`SimulationSpec` routes a registered algorithm's message-passing
+protocol onto the unified simulation engine (LOCAL or CONGEST, fault
+plans, trace policies)::
+
+    from repro.api import FaultPlan, SimulationSpec, simulate
+
+    sim = simulate(graph, SimulationSpec(
+        algorithm="d2", model="congest", budget=8,
+        faults=FaultPlan(drop_probability=0.1, crashed=(0,)),
+    ))
+    print(sim.rounds, sim.total_messages, sorted(sim.chosen))
+
 All entry points (CLI, experiments, benchmarks, examples) go through
 this package, so registering a new algorithm once makes it appear in
 the CLI choices, `repro algorithms`, Table 1 suites, and sweeps.
@@ -24,23 +37,37 @@ from repro.api.registry import (
     UnknownAlgorithmError,
     UnsupportedModeError,
     algorithm_names,
+    engine_algorithm_names,
     get_algorithm,
     list_algorithms,
     register_algorithm,
 )
 from repro.api.runner import solve, solve_many
+from repro.api.simulation import (
+    FaultPlan,
+    SimReport,
+    SimulationSpec,
+    simulate,
+    simulate_many,
+)
 
 __all__ = [
     "AlgorithmSpec",
+    "FaultPlan",
     "RunConfig",
     "RunReport",
+    "SimReport",
+    "SimulationSpec",
     "UnknownAlgorithmError",
     "UnsupportedModeError",
     "algorithm_names",
+    "engine_algorithm_names",
     "get_algorithm",
     "instance_meta",
     "list_algorithms",
     "register_algorithm",
+    "simulate",
+    "simulate_many",
     "solve",
     "solve_many",
 ]

@@ -20,6 +20,12 @@ d2_vc              mvc      fast             t (Thm 4.4 variant)
 matching_vc        mvc      fast             2 (maximal matching)
 exact_vc           mvc      fast             1 (full gather)
 =================  =======  ===============  ==========================
+
+Algorithms whose systems-style per-node protocol ships in
+:mod:`repro.local_model.protocols` / :mod:`repro.core.distributed_greedy`
+additionally register a ``protocol_factory``, which makes them runnable
+on the simulation engine through :func:`repro.api.simulate`
+(``d2``, ``degree_two``, ``take_all``, ``greedy``).
 """
 
 from __future__ import annotations
@@ -35,12 +41,29 @@ from repro.core.baselines import (
     take_all_vertices,
 )
 from repro.core.d2 import d2_dominating_set
-from repro.core.distributed_greedy import distributed_greedy_dominating_set
+from repro.core.distributed_greedy import (
+    DistributedGreedyProtocolFull,
+    distributed_greedy_dominating_set,
+)
 from repro.core.radii import RadiusPolicy
 from repro.core.results import AlgorithmResult
 from repro.core.vertex_cover import d2_vertex_cover, local_cuts_vertex_cover
+from repro.local_model.protocols import (
+    D2Protocol,
+    DegreeTwoProtocol,
+    TakeAllProtocol,
+)
 from repro.solvers.greedy import greedy_dominating_set
 from repro.solvers.vc import matching_vertex_cover, minimum_vertex_cover
+
+
+def _protocol(cls):
+    """Engine factory for graph/spec-independent per-node protocols."""
+
+    def build(graph, spec):
+        return cls
+
+    return build
 
 
 def _graph_diameter(graph: nx.Graph) -> int:
@@ -94,6 +117,7 @@ def _run_algorithm2(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
     assumes="K_{2,t}-minor-free",
     guarantee="2t-1",
     round_complexity="3",
+    protocol_factory=_protocol(D2Protocol),
     tags=("paper",),
 )
 def _run_d2(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
@@ -107,6 +131,7 @@ def _run_d2(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
     assumes="trees",
     guarantee="3",
     round_complexity="2",
+    protocol_factory=_protocol(DegreeTwoProtocol),
     tags=("baseline",),
 )
 def _run_degree_two(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
@@ -120,6 +145,7 @@ def _run_degree_two(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
     assumes="K_{1,t}-minor-free",
     guarantee="t",
     round_complexity="0",
+    protocol_factory=_protocol(TakeAllProtocol),
     tags=("baseline",),
 )
 def _run_take_all(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
@@ -132,6 +158,7 @@ def _run_take_all(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
     summary="distributed locally-maximal greedy (non-constant rounds)",
     guarantee="ln(Delta)",
     round_complexity="O(phases)",
+    protocol_factory=_protocol(DistributedGreedyProtocolFull),
     tags=("reference",),
 )
 def _run_greedy(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:

@@ -71,6 +71,12 @@ class AlgorithmSpec:
     """The paper's approximation guarantee (display string)."""
     round_complexity: str = "-"
     """The paper's round count (display string)."""
+    protocol_factory: Callable | None = None
+    """Build a per-node protocol for the simulation engine:
+    ``protocol_factory(graph, spec) -> Callable[[], LocalAlgorithm]``
+    where ``spec`` is the :class:`repro.api.SimulationSpec` of the run.
+    ``None`` means the algorithm ships no true message-passing protocol
+    and :func:`repro.api.simulate` rejects it."""
     tags: tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -82,6 +88,21 @@ class AlgorithmSpec:
     @property
     def supports_simulation(self) -> bool:
         return "simulate" in self.modes
+
+    @property
+    def supports_engine(self) -> bool:
+        """Whether :func:`repro.api.simulate` can run this algorithm as
+        a true per-node message-passing protocol."""
+        return self.protocol_factory is not None
+
+    def check_engine(self) -> None:
+        """Raise :class:`UnsupportedModeError` without a protocol."""
+        if self.protocol_factory is None:
+            raise UnsupportedModeError(
+                f"algorithm {self.name!r} ships no message-passing protocol "
+                f"for the simulation engine (engine-capable algorithms: "
+                f"{', '.join(engine_algorithm_names()) or 'none'})"
+            )
 
     def policy_for(self, config: RunConfig) -> RadiusPolicy | None:
         """The policy this run should use (config override, else default)."""
@@ -104,6 +125,7 @@ class AlgorithmSpec:
             "name": self.name,
             "problem": self.problem,
             "modes": list(self.modes),
+            "engine": self.supports_engine,
             "assumes": self.assumes,
             "guarantee": self.guarantee,
             "rounds": self.round_complexity,
@@ -127,6 +149,7 @@ def register_algorithm(
     assumes: str = "any graph",
     guarantee: str = "-",
     round_complexity: str = "-",
+    protocol_factory: Callable | None = None,
     tags: tuple[str, ...] = (),
 ) -> Callable[[Adapter], Adapter]:
     """Decorator registering ``fn(graph, config) -> AlgorithmResult``."""
@@ -142,6 +165,7 @@ def register_algorithm(
             assumes=assumes,
             guarantee=guarantee,
             round_complexity=round_complexity,
+            protocol_factory=protocol_factory,
             tags=tuple(tags),
         )
         if name in _REGISTRY:
@@ -176,3 +200,10 @@ def list_algorithms(problem: str | None = None) -> list[AlgorithmSpec]:
 def algorithm_names(problem: str | None = None) -> list[str]:
     """Registered names (optionally one problem kind), sorted."""
     return [spec.name for spec in list_algorithms(problem)]
+
+
+def engine_algorithm_names(problem: str | None = None) -> list[str]:
+    """Names of algorithms runnable on the simulation engine, sorted."""
+    return [
+        spec.name for spec in list_algorithms(problem) if spec.supports_engine
+    ]

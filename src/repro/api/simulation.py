@@ -1,0 +1,260 @@
+"""`simulate` / `simulate_many`: the front door to the simulation engine.
+
+The distributed counterpart of :func:`repro.api.solve`: a
+:class:`SimulationSpec` says *how* to execute one registered algorithm's
+message-passing protocol (round model, CONGEST budget, round limit,
+trace policy, RNG seed, fault plan, identifier scheme); a
+:class:`SimReport` says *what happened* (per-vertex outputs, round and
+message totals, drops, crashes).  Both are plain picklable dataclasses,
+round-trip through JSON via :func:`repro.io.sim_report_to_dict` /
+:func:`repro.io.sim_report_from_dict`, and :func:`simulate_many` fans
+``instances × specs`` out over the same process-parallel,
+order-deterministic machinery as :func:`repro.api.solve_many`.
+
+Reports carry **no wall-clock fields** — everything in a
+:class:`SimReport` is a pure function of (graph, spec), so a
+``workers=4`` batch serialises byte-identically to the serial run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+import repro.api.algorithms  # noqa: F401  (populates the registry)
+from repro.api.config import instance_meta
+from repro.api.registry import AlgorithmSpec, get_algorithm
+from repro.api.runner import _normalise_instances
+from repro.local_model.engine import (
+    MODELS,
+    TRACE_POLICIES,
+    FaultPlan,
+    SimulationEngine,
+    scheduler_for,
+)
+from repro.local_model.identifiers import identity_ids, shuffled_ids, spread_ids
+from repro.local_model.instrumentation import RoundStats
+from repro.local_model.network import Network
+
+Vertex = Hashable
+
+ID_SCHEMES = ("identity", "shuffled", "spread")
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """How to execute one algorithm on the simulation engine.
+
+    * ``algorithm`` — a registered algorithm with a message-passing
+      protocol (see ``repro algorithms``; the registry rejects the
+      rest);
+    * ``model`` — ``"local"`` (unbounded messages) or ``"congest"``
+      (each message capped at ``budget`` identifier units);
+    * ``budget`` — the CONGEST cap in identifier units per message
+      (ignored under ``model="local"``);
+    * ``max_rounds`` — the round limit; exceeding it raises instead of
+      hanging;
+    * ``trace`` — ``"full"`` (per-round stats), ``"stats"`` (aggregate
+      totals only), or ``"off"`` (no accounting at all), so large
+      sweeps need not hold per-round traces in memory;
+    * ``seed`` — drives the fault RNG and the ``"shuffled"`` identifier
+      scheme; recorded for provenance;
+    * ``faults`` — optional :class:`~repro.local_model.engine.FaultPlan`
+      (message drop probability, crashed nodes);
+    * ``ids`` — identifier assignment scheme: ``"identity"``,
+      ``"shuffled"`` (seeded by ``seed``), or ``"spread"``.
+    """
+
+    algorithm: str
+    model: str = "local"
+    budget: int = 4
+    max_rounds: int = 10_000
+    trace: str = "stats"
+    seed: int = 0
+    faults: FaultPlan | None = None
+    ids: str = "identity"
+
+    def __post_init__(self) -> None:
+        if self.model not in MODELS:
+            raise ValueError(f"unknown model {self.model!r}; choose from {MODELS}")
+        if self.trace not in TRACE_POLICIES:
+            raise ValueError(
+                f"unknown trace policy {self.trace!r}; choose from {TRACE_POLICIES}"
+            )
+        if self.budget < 1:
+            raise ValueError("budget must allow at least one identifier")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if self.ids not in ID_SCHEMES:
+            raise ValueError(
+                f"unknown identifier scheme {self.ids!r}; choose from {ID_SCHEMES}"
+            )
+
+    def with_(self, **changes: object) -> "SimulationSpec":
+        """A copy with the given fields replaced (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SimReport:
+    """Everything one :func:`simulate` call produced.
+
+    ``outputs`` is keyed by graph vertex (simulator bookkeeping labels),
+    so reports are comparable across identifier schemes; crashed nodes
+    never halt and are absent.  ``round_stats`` is ``None`` unless the
+    spec asked for ``trace="full"``; under ``trace="off"`` the
+    message/payload totals stay zero.
+    """
+
+    algorithm: str
+    problem: str
+    model: str
+    instance: dict = field(default_factory=dict)
+    spec: SimulationSpec | None = None
+    outputs: dict = field(default_factory=dict)
+    rounds: int = 0
+    total_messages: int = 0
+    total_payload: int = 0
+    dropped_messages: int = 0
+    """Messages lost to the fault plan's ``drop_probability`` RNG."""
+    swallowed_messages: int = 0
+    """Messages addressed to crashed nodes (never delivered)."""
+    crashed: tuple = ()
+    round_stats: list[RoundStats] | None = None
+
+    @property
+    def chosen(self) -> set:
+        """Vertices whose output is exactly ``True`` — the solution set
+        of membership protocols (D2, degree rule, greedy, take-all)."""
+        return {v for v, output in self.outputs.items() if output is True}
+
+    @property
+    def halted(self) -> int:
+        """How many nodes produced an output."""
+        return len(self.outputs)
+
+
+def _make_ids(graph: nx.Graph, spec: SimulationSpec) -> dict:
+    if spec.ids == "shuffled":
+        return shuffled_ids(graph, spec.seed)
+    if spec.ids == "spread":
+        return spread_ids(graph)
+    return identity_ids(graph)
+
+
+def _as_spec(spec: SimulationSpec | str) -> SimulationSpec:
+    return SimulationSpec(algorithm=spec) if isinstance(spec, str) else spec
+
+
+def _engine_spec(spec: SimulationSpec) -> AlgorithmSpec:
+    """Resolve + capability-check the registered algorithm."""
+    alg = get_algorithm(spec.algorithm)
+    alg.check_engine()
+    return alg
+
+
+def simulate(
+    graph: nx.Graph,
+    spec: SimulationSpec | str,
+    *,
+    meta: dict | None = None,
+) -> SimReport:
+    """Run one registered algorithm's protocol on the simulation engine.
+
+    ``spec`` may be a bare algorithm name (shorthand for
+    ``SimulationSpec(algorithm=name)``).  Raises
+    :class:`~repro.api.registry.UnknownAlgorithmError` on a bad name,
+    :class:`~repro.api.registry.UnsupportedModeError` when the algorithm
+    ships no protocol, and
+    :class:`~repro.local_model.engine.MessageTooLargeError` (with round
+    and receiver) when ``model="congest"`` rejects a message.
+
+    The zero-node graph is handled without a network: the report is
+    empty with zero rounds.
+    """
+    spec = _as_spec(spec)
+    alg = _engine_spec(spec)
+    base = SimReport(
+        algorithm=alg.name,
+        problem=alg.problem,
+        model=spec.model,
+        instance=instance_meta(graph, meta),
+        spec=spec,
+        crashed=tuple(spec.faults.crashed) if spec.faults else (),
+        round_stats=[] if spec.trace == "full" else None,
+    )
+    if graph.number_of_nodes() == 0:
+        # The engine owns crash-vertex validation; match its contract
+        # here, where no engine is ever constructed.
+        if spec.faults is not None and spec.faults.crashed:
+            raise ValueError(
+                f"crashed vertices not in the network: {list(spec.faults.crashed)!r}"
+            )
+        return base
+
+    network = Network(graph, _make_ids(graph, spec))
+    engine = SimulationEngine(
+        network,
+        scheduler_for(spec.model, spec.budget),
+        max_rounds=spec.max_rounds,
+        faults=spec.faults,
+        trace=spec.trace,
+        seed=spec.seed,
+    )
+    result = engine.run(alg.protocol_factory(graph, spec))
+    base.outputs = result.outputs
+    base.rounds = result.rounds
+    base.total_messages = result.total_messages
+    base.total_payload = result.total_payload
+    base.dropped_messages = result.dropped_messages
+    base.swallowed_messages = result.swallowed_messages
+    base.round_stats = result.round_stats
+    return base
+
+
+def _simulate_task(task: tuple[dict, nx.Graph, SimulationSpec]) -> SimReport:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    meta, graph, spec = task
+    return simulate(graph, spec, meta=meta)
+
+
+def simulate_many(
+    instances: Iterable,
+    specs: SimulationSpec | str | Sequence[SimulationSpec | str],
+    *,
+    workers: int | None = None,
+) -> list[SimReport]:
+    """Run a batch of ``instances × specs`` through :func:`simulate`.
+
+    ``instances`` may be bare graphs or ``(meta, graph)`` pairs (the
+    shape :func:`repro.io.read_corpus` returns); ``specs`` may be one
+    spec/name or a sequence.  ``workers`` > 1 runs the batch in a
+    process pool; ordering is deterministic either way (instance-major,
+    specs in the order given), and because reports carry no wall-clock
+    fields the parallel batch is byte-identical to the serial one under
+    JSON.  Capability checks run before any work starts, so a bad
+    name/model fails fast instead of mid-sweep.
+    """
+    if isinstance(specs, (SimulationSpec, str)):
+        spec_list = [_as_spec(specs)]
+    else:
+        spec_list = [_as_spec(s) for s in specs]
+    for spec in spec_list:
+        _engine_spec(spec)
+
+    tasks = [
+        (meta, graph, spec)
+        for meta, graph in _normalise_instances(instances)
+        for spec in spec_list
+    ]
+    if not tasks:
+        return []
+    if workers is None or workers <= 1:
+        return [_simulate_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves submission order, giving parallel runs
+        # the exact serial ordering.
+        return list(pool.map(_simulate_task, tasks))

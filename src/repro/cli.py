@@ -12,6 +12,9 @@ Examples::
     python -m repro run --family fan --size 16 --algorithm d2_vc --json
     python -m repro compare --family outerplanar --size 18 --seed 3 --workers 2
     python -m repro compare --family fan --size 16 --problem mvc
+    python -m repro simulate --family tree --size 15 --algorithm d2
+    python -m repro simulate --family tree --size 8 --algorithm degree_two --model congest
+    python -m repro simulate --family fan --size 12 --algorithm d2 --faults drop=0.2,crash=0 --json
     python -m repro algorithms
     python -m repro families
     python -m repro report --scale tiny
@@ -26,17 +29,22 @@ import warnings
 
 from repro.analysis.tables import format_table
 from repro.api import (
+    FaultPlan,
     RunConfig,
+    SimulationSpec,
     UnsupportedModeError,
     algorithm_names,
-    get_algorithm,
+    engine_algorithm_names,
     list_algorithms,
+    simulate,
     solve,
     solve_many,
 )
 from repro.api.config import measured_ratio
+from repro.api.simulation import ID_SCHEMES
 from repro.graphs.families import FAMILIES, get_family
-from repro.io import run_report_to_dict
+from repro.io import run_report_to_dict, sim_report_to_dict
+from repro.local_model.engine import MODELS, TRACE_POLICIES, MessageTooLargeError
 from repro.solvers.exact import minimum_dominating_set
 from repro.solvers.vc import minimum_vertex_cover
 
@@ -68,6 +76,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-parallel runs (deterministic ordering)",
     )
     compare.add_argument("--json", action="store_true", help="emit RunReports as JSON")
+
+    simulate_p = sub.add_parser(
+        "simulate",
+        help="run an algorithm's message-passing protocol on the simulation engine",
+    )
+    simulate_p.add_argument("--family", required=True, choices=sorted(FAMILIES))
+    simulate_p.add_argument("--size", type=int, default=20)
+    simulate_p.add_argument(
+        "--seed", type=int, default=0,
+        help="instance seed; also drives the fault RNG and shuffled ids",
+    )
+    simulate_p.add_argument(
+        "--algorithm", required=True, choices=engine_algorithm_names(),
+        help="engine-capable algorithms only (see `repro algorithms`)",
+    )
+    simulate_p.add_argument(
+        "--model", default="local", choices=list(MODELS),
+        help="round model: LOCAL (unbounded) or CONGEST (budgeted messages)",
+    )
+    simulate_p.add_argument(
+        "--budget", type=int, default=4,
+        help="CONGEST cap in identifier units per message",
+    )
+    simulate_p.add_argument("--max-rounds", type=int, default=10_000)
+    simulate_p.add_argument(
+        "--trace", default="stats", choices=list(TRACE_POLICIES),
+        help="full per-round stats, aggregate totals, or no accounting",
+    )
+    simulate_p.add_argument(
+        "--ids", default="identity", choices=list(ID_SCHEMES),
+        help="identifier assignment scheme",
+    )
+    simulate_p.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="fault plan, e.g. 'drop=0.2' or 'drop=0.1,crash=0+4'",
+    )
+    simulate_p.add_argument(
+        "--json", action="store_true", help="emit the SimReport as JSON"
+    )
 
     algorithms = sub.add_parser("algorithms", help="list registered algorithms")
     algorithms.add_argument("--problem", default=None, choices=["mds", "mvc"])
@@ -121,6 +168,99 @@ def _cmd_run(args) -> int:
     return 0 if report.valid else 1
 
 
+def _parse_faults(text: str | None) -> FaultPlan | None:
+    """Parse the ``--faults`` plan: ``drop=<p>`` and/or ``crash=<v>+<v>``."""
+    if text is None:
+        return None
+    drop = 0.0
+    crashed: list = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, _, value = part.partition("=")
+        if key == "drop":
+            drop = float(value)
+        elif key == "crash":
+            for label in filter(None, value.split("+")):
+                crashed.append(int(label) if label.lstrip("-").isdigit() else label)
+        else:
+            raise ValueError(
+                f"unknown fault knob {key!r}; use drop=<p> and/or crash=<v>+<v>"
+            )
+    return FaultPlan(drop_probability=drop, crashed=tuple(crashed))
+
+
+def _display_sorted(vertices) -> list:
+    """Sort a vertex set naturally for display, repr-sorting mixed types."""
+    try:
+        return sorted(vertices)
+    except TypeError:
+        return sorted(vertices, key=repr)
+
+
+def _cmd_simulate(args) -> int:
+    graph, meta = _instance(args)
+    try:
+        faults = _parse_faults(args.faults)
+        spec = SimulationSpec(
+            algorithm=args.algorithm,
+            model=args.model,
+            budget=args.budget,
+            max_rounds=args.max_rounds,
+            trace=args.trace,
+            seed=args.seed,
+            faults=faults,
+            ids=args.ids,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = simulate(graph, spec, meta=meta)
+    except ValueError as error:
+        # e.g. a crash vertex that is not in the generated graph
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except MessageTooLargeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "hint: raise --budget, or pick a CONGEST-fit protocol "
+            "(`python -m repro algorithms` lists capability flags)",
+            file=sys.stderr,
+        )
+        return 1
+    except RuntimeError as error:
+        # the engine's round-limit trip ("did not halt within N rounds")
+        print(f"error: {error}", file=sys.stderr)
+        print("hint: raise --max-rounds", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(sim_report_to_dict(report), indent=1))
+        return 0
+    print(
+        f"family={args.family} n={graph.number_of_nodes()} "
+        f"m={graph.number_of_edges()} model={report.model}"
+    )
+    print(
+        f"algorithm={report.algorithm} rounds={report.rounds} "
+        f"messages={report.total_messages} payload={report.total_payload}"
+    )
+    if report.dropped_messages or report.crashed:
+        print(
+            f"faults: dropped={report.dropped_messages} "
+            f"swallowed={report.swallowed_messages} "
+            f"crashed={_display_sorted(report.crashed)}"
+        )
+    chosen = _display_sorted(report.chosen)
+    print(f"halted {report.halted}/{graph.number_of_nodes()} nodes")
+    print(f"chosen ({len(chosen)} vertices): {chosen}")
+    if args.trace == "full" and report.round_stats:
+        for stats in report.round_stats:
+            print(
+                f"  round {stats.round_index}: {stats.messages} messages, "
+                f"{stats.payload_units} payload units"
+            )
+    return 0
+
+
 def _cmd_compare(args) -> int:
     graph, meta = _instance(args)
     # One exact solve for the shared ratio denominator (validate="ratio"
@@ -164,6 +304,7 @@ def _cmd_algorithms(args) -> int:
             spec.name,
             spec.problem,
             "+".join(spec.modes),
+            "yes" if spec.supports_engine else "-",
             spec.guarantee,
             spec.round_complexity,
             spec.assumes,
@@ -172,7 +313,10 @@ def _cmd_algorithms(args) -> int:
     ]
     print(
         format_table(
-            ["algorithm", "problem", "modes", "paper ratio", "rounds", "assumes"],
+            [
+                "algorithm", "problem", "modes", "engine",
+                "paper ratio", "rounds", "assumes",
+            ],
             rows,
         )
     )
@@ -199,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "algorithms":

@@ -41,7 +41,6 @@ from repro.graphs.local_cuts import (
 )
 from repro.graphs.twins import remove_true_twins
 from repro.graphs.util import (
-    ball,
     closed_neighborhood,
     closed_neighborhood_of_set,
     weak_diameter,

@@ -26,7 +26,7 @@ proposition's mechanics on the `K_{2,t}`-minor-free families.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 

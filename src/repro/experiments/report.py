@@ -12,6 +12,7 @@ from repro.experiments.figures import figure1_report, figure2_report
 from repro.experiments.sweeps import (
     congest_gather_inflation,
     crossover_table,
+    fault_tolerance_sweep,
     identifier_robustness,
     lemma_constants_sweep,
     message_volume_vs_radius,
@@ -21,7 +22,7 @@ from repro.experiments.sweeps import (
     rounds_vs_n,
     treewidth_asdim_chain,
 )
-from repro.experiments.table1 import table1_report
+from repro.experiments.table1 import table1_report, table1_simulation_rows
 
 
 def full_report(scale: str = "small", workers: int | None = None) -> str:
@@ -35,6 +36,10 @@ def full_report(scale: str = "small", workers: int | None = None) -> str:
             "Table 1 — constant-round MDS approximation landscape",
             table1_report(scale, workers=workers),
         ),
+        (
+            "Table 1b — engine cross-check (fast path vs per-node protocol)",
+            render_rows(table1_simulation_rows("tiny", workers=workers)),
+        ),
         ("Figure 1 — Lemma 5.17/5.18 construction", figure1_report()),
         ("Figure 2 — Lemma 3.3 charging picture", figure2_report()),
         ("S1 — ratio vs t", render_rows(ratio_vs_t())),
@@ -46,6 +51,7 @@ def full_report(scale: str = "small", workers: int | None = None) -> str:
         ("S7 — identifier-assignment robustness", render_rows(identifier_robustness())),
         ("S9 — CONGEST gathering round inflation", render_rows(congest_gather_inflation())),
         ("S10 — K_2,t-free => treewidth => asdim chain", render_rows(treewidth_asdim_chain())),
+        ("S11 — fault tolerance of D2 (drops, crashes)", render_rows(fault_tolerance_sweep())),
     ]
     blocks = []
     for title, body in sections:

@@ -197,28 +197,75 @@ def message_volume_vs_radius(radii: Sequence[int] = (1, 2, 3, 4)) -> list[dict]:
 def identifier_robustness(seeds: Sequence[int] = (0, 1, 2, 3)) -> list[dict]:
     """S7: deterministic LOCAL algorithms must work for every identifier
     assignment — outputs may shift on ties but validity and size class
-    must hold across schemes."""
+    must hold across schemes.  Runs through the :func:`repro.api.simulate`
+    front door (``SimReport.chosen`` is vertex-keyed, so solutions are
+    comparable across identifier schemes)."""
     from repro.analysis.domination import is_dominating_set
-    from repro.local_model.identifiers import shuffled_ids, spread_ids
-    from repro.local_model.protocols import D2Protocol, run_protocol_dominating_set
+    from repro.api import SimulationSpec, simulate
 
     graph = _k2t_stress_instance(4, blocks=2)
-    baseline, _ = run_protocol_dominating_set(graph, D2Protocol)
+    base_spec = SimulationSpec(algorithm="d2")
+    baseline = simulate(graph, base_spec).chosen
+    schemes = [("identity", base_spec)]
+    schemes += [
+        (f"shuffled(seed={s})", base_spec.with_(ids="shuffled", seed=s))
+        for s in seeds
+    ]
+    schemes.append(("spread", base_spec.with_(ids="spread")))
     rows = []
-    schemes = [("identity", None)]
-    schemes += [(f"shuffled(seed={s})", shuffled_ids(graph, s)) for s in seeds]
-    schemes.append(("spread", spread_ids(graph)))
-    for name, ids in schemes:
-        chosen, rounds = run_protocol_dominating_set(graph, D2Protocol, ids)
+    for name, spec in schemes:
+        report = simulate(graph, spec)
         rows.append(
             {
                 "ids": name,
-                "size": len(chosen),
-                "rounds": rounds,
-                "valid": is_dominating_set(graph, chosen),
-                "same_as_identity": chosen == baseline,
+                "size": len(report.chosen),
+                "rounds": report.rounds,
+                "valid": is_dominating_set(graph, report.chosen),
+                "same_as_identity": report.chosen == baseline,
             }
         )
+    return rows
+
+
+def fault_tolerance_sweep(
+    drops: Sequence[float] = (0.0, 0.1, 0.3), seed: int = 0
+) -> list[dict]:
+    """S11: what the paper's 3-round protocol does on a faulty network.
+
+    The LOCAL model assumes reliable synchronous links; the engine's
+    fault plans quantify the gap — D₂ still halts in 3 rounds under
+    message loss and a crashed hub (its decisions only read whatever
+    arrived), but validity degrades with the drop rate.  Everything is
+    seeded, so the rows reproduce exactly.
+    """
+    from repro.analysis.domination import is_dominating_set
+    from repro.api import FaultPlan, SimulationSpec, simulate
+
+    graph = _k2t_stress_instance(4, blocks=2)
+    crash_choices: list[tuple[str, tuple]] = [("none", ()), ("hub", (1,))]
+    rows = []
+    for drop in drops:
+        for crash_name, crashed in crash_choices:
+            spec = SimulationSpec(
+                algorithm="d2",
+                seed=seed,
+                faults=FaultPlan(drop_probability=drop, crashed=crashed),
+            )
+            report = simulate(graph, spec)
+            alive = set(graph.nodes) - set(crashed)
+            rows.append(
+                {
+                    "drop_p": drop,
+                    "crashed": crash_name,
+                    "rounds": report.rounds,
+                    "dropped_msgs": report.dropped_messages,
+                    "swallowed_msgs": report.swallowed_messages,
+                    "size": len(report.chosen),
+                    "valid_on_alive": is_dominating_set(
+                        graph.subgraph(alive), report.chosen
+                    ),
+                }
+            )
     return rows
 
 

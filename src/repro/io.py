@@ -10,6 +10,12 @@ graphs, algorithm results, and sweep tables to a stable JSON layout.
   :func:`repro.api.solve`, via :func:`run_report_to_dict` /
   :func:`run_report_from_dict` (and file-level :func:`save_run_reports`
   / :func:`load_run_reports`);
+* simulation reports — the :class:`repro.api.SimReport` records
+  produced by :func:`repro.api.simulate`, via
+  :func:`sim_report_to_dict` / :func:`sim_report_from_dict` (and
+  file-level :func:`save_sim_reports` / :func:`load_sim_reports`);
+  serialisation is fully deterministic (sorted sets, no wall-clock
+  fields), so parallel sweeps dump byte-identically to serial ones;
 * corpora — a directory of instances addressed by family/size/seed,
   written by :func:`write_corpus` and reloaded by :func:`read_corpus`.
 """
@@ -142,6 +148,143 @@ def run_report_from_dict(data: dict) -> "RunReport":
         optimum_size=data.get("optimum_size"),
         ratio=data.get("ratio"),
     )
+
+
+def fault_plan_to_dict(plan: "FaultPlan | None") -> dict | None:
+    """JSON-ready dict for a :class:`repro.api.FaultPlan` (or ``None``)."""
+    if plan is None:
+        return None
+    return {
+        "drop_probability": plan.drop_probability,
+        "crashed": sorted(plan.crashed, key=repr),
+    }
+
+
+def fault_plan_from_dict(data: dict | None) -> "FaultPlan | None":
+    """Inverse of :func:`fault_plan_to_dict`."""
+    from repro.local_model.engine import FaultPlan
+
+    if data is None:
+        return None
+    return FaultPlan(
+        drop_probability=data.get("drop_probability", 0.0),
+        crashed=tuple(_vertex_from_json(v) for v in data.get("crashed", ())),
+    )
+
+
+def sim_spec_to_dict(spec: "SimulationSpec") -> dict:
+    """JSON-ready dict for a :class:`repro.api.SimulationSpec`."""
+    return {
+        "algorithm": spec.algorithm,
+        "model": spec.model,
+        "budget": spec.budget,
+        "max_rounds": spec.max_rounds,
+        "trace": spec.trace,
+        "seed": spec.seed,
+        "faults": fault_plan_to_dict(spec.faults),
+        "ids": spec.ids,
+    }
+
+
+def sim_spec_from_dict(data: dict) -> "SimulationSpec":
+    """Inverse of :func:`sim_spec_to_dict`."""
+    from repro.api.simulation import SimulationSpec
+
+    return SimulationSpec(
+        algorithm=data["algorithm"],
+        model=data.get("model", "local"),
+        budget=data.get("budget", 4),
+        max_rounds=data.get("max_rounds", 10_000),
+        trace=data.get("trace", "stats"),
+        seed=data.get("seed", 0),
+        faults=fault_plan_from_dict(data.get("faults")),
+        ids=data.get("ids", "identity"),
+    )
+
+
+def sim_report_to_dict(report: "SimReport") -> dict:
+    """JSON-ready dict for a :class:`repro.api.SimReport`.
+
+    ``outputs`` is a vertex-sorted pair list (JSON objects cannot carry
+    non-string keys); non-JSON-able outputs are dropped, like result
+    metadata.  The layout contains no wall-clock data, so equal runs
+    serialise to equal bytes.
+    """
+    return {
+        "algorithm": report.algorithm,
+        "problem": report.problem,
+        "model": report.model,
+        "instance": {k: v for k, v in report.instance.items() if _jsonable(v)},
+        "spec": None if report.spec is None else sim_spec_to_dict(report.spec),
+        "outputs": [
+            [v, output]
+            for v, output in sorted(report.outputs.items(), key=lambda kv: repr(kv[0]))
+            if _jsonable(output)
+        ],
+        "rounds": report.rounds,
+        "total_messages": report.total_messages,
+        "total_payload": report.total_payload,
+        "dropped_messages": report.dropped_messages,
+        "swallowed_messages": report.swallowed_messages,
+        "crashed": sorted(report.crashed, key=repr),
+        "round_stats": None
+        if report.round_stats is None
+        else [
+            {
+                "round_index": s.round_index,
+                "messages": s.messages,
+                "payload_units": s.payload_units,
+            }
+            for s in report.round_stats
+        ],
+    }
+
+
+def _vertex_from_json(value: object) -> object:
+    """Re-hash a JSON-decoded vertex label: lists (JSON has no tuples)
+    come back as tuples, recursively, so tuple-labelled graphs (e.g.
+    ``nx.grid_2d_graph``) survive the round-trip."""
+    if isinstance(value, list):
+        return tuple(_vertex_from_json(item) for item in value)
+    return value
+
+
+def sim_report_from_dict(data: dict) -> "SimReport":
+    """Inverse of :func:`sim_report_to_dict`."""
+    from repro.api.simulation import SimReport
+    from repro.local_model.instrumentation import RoundStats
+
+    round_stats = None
+    if data.get("round_stats") is not None:
+        round_stats = [RoundStats(**s) for s in data["round_stats"]]
+    return SimReport(
+        algorithm=data["algorithm"],
+        problem=data["problem"],
+        model=data.get("model", "local"),
+        instance=dict(data.get("instance", {})),
+        spec=None if data.get("spec") is None else sim_spec_from_dict(data["spec"]),
+        outputs={
+            _vertex_from_json(v): output for v, output in data.get("outputs", [])
+        },
+        rounds=data.get("rounds", 0),
+        total_messages=data.get("total_messages", 0),
+        total_payload=data.get("total_payload", 0),
+        dropped_messages=data.get("dropped_messages", 0),
+        swallowed_messages=data.get("swallowed_messages", 0),
+        crashed=tuple(_vertex_from_json(v) for v in data.get("crashed", ())),
+        round_stats=round_stats,
+    )
+
+
+def save_sim_reports(reports: "Iterable[SimReport]", path: str | Path) -> None:
+    """Persist a batch of simulation reports (a `simulate_many` sweep)."""
+    payload = [sim_report_to_dict(r) for r in reports]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_sim_reports(path: str | Path) -> "list[SimReport]":
+    """Inverse of :func:`save_sim_reports`."""
+    return [sim_report_from_dict(d) for d in json.loads(Path(path).read_text())]
 
 
 def save_run_reports(reports: "Iterable[RunReport]", path: str | Path) -> None:

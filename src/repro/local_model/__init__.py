@@ -11,8 +11,13 @@ Layers:
 
 * :mod:`repro.local_model.network` / :mod:`node` — the simulated
   processors and links;
-* :mod:`repro.local_model.runtime` — the synchronous scheduler with
-  round/message accounting;
+* :mod:`repro.local_model.engine` — the unified simulation engine:
+  one synchronous round loop with pluggable model schedulers (LOCAL /
+  CONGEST), fault plans (message drops, node crashes), and trace
+  policies (``full``/``stats``/``off``);
+* :mod:`repro.local_model.runtime` / :mod:`congest_runtime` — thin
+  deprecated wrappers keeping the historical ``SynchronousRuntime`` /
+  ``CongestRuntime`` names alive on top of the engine;
 * :mod:`repro.local_model.algorithm` — the per-node algorithm interface;
 * :mod:`repro.local_model.gather` — the radius-r *view gathering*
   primitive: after ``r + 1`` rounds every vertex knows the induced
@@ -24,6 +29,16 @@ Layers:
 """
 
 from repro.local_model.algorithm import LocalAlgorithm, ViewAlgorithm
+from repro.local_model.engine import (
+    CongestScheduler,
+    EngineResult,
+    FaultPlan,
+    LocalScheduler,
+    MessageTooLargeError,
+    Scheduler,
+    SimulationEngine,
+    scheduler_for,
+)
 from repro.local_model.gather import gather_views, rounds_for_radius
 from repro.local_model.identifiers import (
     identity_ids,
@@ -32,18 +47,27 @@ from repro.local_model.identifiers import (
 )
 from repro.local_model.network import Network
 from repro.local_model.runtime import RunResult, SynchronousRuntime
+
 from repro.local_model.views import View
 
 __all__ = [
+    "CongestScheduler",
+    "EngineResult",
+    "FaultPlan",
     "LocalAlgorithm",
-    "ViewAlgorithm",
-    "gather_views",
-    "rounds_for_radius",
-    "identity_ids",
-    "shuffled_ids",
-    "spread_ids",
+    "LocalScheduler",
+    "MessageTooLargeError",
     "Network",
     "RunResult",
+    "Scheduler",
+    "SimulationEngine",
     "SynchronousRuntime",
     "View",
+    "ViewAlgorithm",
+    "gather_views",
+    "identity_ids",
+    "rounds_for_radius",
+    "scheduler_for",
+    "shuffled_ids",
+    "spread_ids",
 ]

@@ -15,7 +15,6 @@ reproduced algorithms would survive the cap:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import networkx as nx

@@ -1,69 +1,51 @@
-"""A CONGEST-enforcing runtime: the LOCAL scheduler plus message caps.
+"""Deprecated CONGEST-runtime wrapper over the unified engine.
 
-The paper's algorithms assume LOCAL (unbounded messages).  To make the
-contrast executable rather than rhetorical, this runtime *rejects* any
-message whose payload exceeds the per-round budget of
-``ids_per_message`` identifiers — running a LOCAL-hungry protocol under
-it fails fast with :class:`MessageTooLargeError`, while genuinely
-CONGEST-fit protocols (the degree rule, distributed greedy) run
-unchanged.
+The CONGEST cap is now a pluggable policy —
+:class:`repro.local_model.engine.CongestScheduler` — on the same
+:class:`~repro.local_model.engine.SimulationEngine` that runs LOCAL,
+instead of a ``deliver``-patching subclass of the old runtime.
+:class:`CongestRuntime` remains as a thin backward-compatible wrapper;
+new code should use the engine directly or the
+:func:`repro.api.simulate` front door with ``model="congest"``.
 
-This is an enforcement shim around :class:`SynchronousRuntime`; the
-network, node and algorithm interfaces are identical.
+Running a LOCAL-hungry protocol under the cap fails fast with
+:class:`MessageTooLargeError` (which reports sender, receiver, round,
+size, and budget), while genuinely CONGEST-fit protocols (the degree
+rule, distributed greedy) run unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Hashable
 
-from repro.local_model.instrumentation import payload_size
+from repro.local_model.engine import (
+    CongestScheduler,
+    MessageTooLargeError,
+    SimulationEngine,
+)
 from repro.local_model.network import Network
-from repro.local_model.node import NodeContext
 from repro.local_model.runtime import RunResult, SynchronousRuntime
 
 Vertex = Hashable
 
-
-class MessageTooLargeError(RuntimeError):
-    """A message exceeded the CONGEST budget."""
-
-    def __init__(self, sender: int, units: int, budget: int):
-        super().__init__(
-            f"node {sender} sent a message of {units} units; CONGEST budget "
-            f"is {budget} units per message"
-        )
-        self.sender = sender
-        self.units = units
-        self.budget = budget
+__all__ = ["CongestRuntime", "MessageTooLargeError", "runs_in_congest"]
 
 
 class CongestRuntime(SynchronousRuntime):
-    """Synchronous rounds with per-message size enforcement."""
+    """Deprecated: synchronous rounds with per-message size enforcement."""
 
     def __init__(self, network: Network, ids_per_message: int = 4, max_rounds: int = 10_000):
         super().__init__(network, max_rounds=max_rounds)
-        if ids_per_message < 1:
-            raise ValueError("budget must allow at least one identifier")
-        self.ids_per_message = ids_per_message
+        self._scheduler = CongestScheduler(ids_per_message)
 
-    def run(self, algorithm_factory: Callable[[], object]) -> RunResult:
-        original_deliver = self.network.deliver
+    @property
+    def ids_per_message(self) -> int:
+        return self._scheduler.ids_per_message
 
-        def checked_deliver(outboxes):
-            for vertex, outbox in outboxes.items():
-                for payload in outbox.values():
-                    units = payload_size(payload)
-                    if units > self.ids_per_message:
-                        raise MessageTooLargeError(
-                            self.network.ids[vertex], units, self.ids_per_message
-                        )
-            return original_deliver(outboxes)
-
-        self.network.deliver = checked_deliver  # type: ignore[method-assign]
-        try:
-            return super().run(algorithm_factory)
-        finally:
-            self.network.deliver = original_deliver  # type: ignore[method-assign]
+    def _engine(self) -> SimulationEngine:
+        return SimulationEngine(
+            self.network, self._scheduler, max_rounds=self.max_rounds
+        )
 
 
 def runs_in_congest(

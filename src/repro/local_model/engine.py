@@ -1,0 +1,367 @@
+"""The unified simulation engine: one round loop, pluggable policies.
+
+Every round-model experiment in the repo runs on this engine.  What used
+to be two hand-wired runtimes (``SynchronousRuntime`` for LOCAL,
+``CongestRuntime`` as an enforcement subclass) is now a single
+:class:`SimulationEngine` parameterised along three axes:
+
+* **scheduler** — the round model as an admission policy.
+  :class:`LocalScheduler` admits everything (unbounded messages);
+  :class:`CongestScheduler` rejects any message above its
+  ``ids_per_message`` budget with :class:`MessageTooLargeError`.  New
+  models plug in by implementing the :class:`Scheduler` protocol, no
+  engine subclassing.
+* **faults** — a :class:`FaultPlan` of probabilistic message drops and
+  crashed nodes, applied at delivery time from a seeded RNG so runs are
+  reproducible (and identical across worker processes).
+* **trace policy** — ``"full"`` keeps per-round :class:`RoundStats`,
+  ``"stats"`` keeps only aggregate totals, ``"off"`` records nothing;
+  large sweeps need not hold per-round lists (or even compute payload
+  sizes) in memory.
+
+Delivery is *immutable-by-convention*: payloads move from outbox to
+inbox **by reference**, never copied.  The contract for algorithm
+authors: a payload must not be mutated after it is sent, and a received
+payload must be treated as read-only (build a new object to forward
+modified knowledge).  Every protocol in the repo already follows this —
+dropping the defensive copies is what makes the hot path cheap (see
+``benchmarks/bench_engine.py`` for the measured win).
+
+Routing uses an adjacency-indexed buffer built once per engine:
+``routes[v][port] == (receiver node, back port)``, so delivering a
+message is a single list index instead of the port→neighbor→back-port
+dictionary chain the old runtime walked for every message of every
+round.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, Protocol, runtime_checkable
+
+from repro.local_model.algorithm import LocalAlgorithm
+from repro.local_model.instrumentation import RoundStats, Trace, payload_size
+from repro.local_model.network import Network
+from repro.local_model.node import Node, NodeContext
+
+Vertex = Hashable
+
+MODELS = ("local", "congest")
+TRACE_POLICIES = ("full", "stats", "off")
+
+
+class MessageTooLargeError(RuntimeError):
+    """A message exceeded the CONGEST budget.
+
+    Carries everything needed to act on a failure deep inside a sweep:
+    the offending sender *and receiver* identifiers, the round in which
+    the message was queued, its size, and the budget it broke.
+    """
+
+    def __init__(
+        self,
+        sender: int,
+        units: int,
+        budget: int,
+        round_index: int | None = None,
+        receiver: int | None = None,
+    ):
+        to = f" to node {receiver}" if receiver is not None else ""
+        where = f" in round {round_index}" if round_index is not None else ""
+        super().__init__(
+            f"node {sender} sent a message of {units} units{to}{where}; "
+            f"CONGEST budget is {budget} units per message"
+        )
+        self.sender = sender
+        self.units = units
+        self.budget = budget
+        self.round_index = round_index
+        self.receiver = receiver
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """A round model as an admission policy.
+
+    While ``enforces`` is true the engine calls :meth:`admit` once per
+    queued message, with the full round snapshot validated *before* any
+    delivery — a rejected round leaves no partially-delivered state.
+    Set ``enforces = False`` only for pass-through policies (LOCAL)
+    that admit everything; their ``admit`` is never invoked, which
+    keeps the hot path free of per-message calls.  ``needs_units``
+    tells the engine whether to compute payload sizes even when the
+    trace policy would skip them; when neither the scheduler nor the
+    trace policy asks for sizes, ``admit`` receives ``units=0`` (a
+    count-limiting policy, for example, needs none).
+    """
+
+    model: str
+    enforces: bool
+    needs_units: bool
+
+    def admit(self, round_index: int, sender: int, receiver: int, units: int) -> None:
+        """Validate one queued message; raise to reject the run."""
+
+
+class LocalScheduler:
+    """The LOCAL model: messages of unbounded size, everything admitted."""
+
+    model = "local"
+    enforces = False
+    needs_units = False
+
+    def admit(self, round_index: int, sender: int, receiver: int, units: int) -> None:
+        return None
+
+
+class CongestScheduler:
+    """The CONGEST model: at most ``ids_per_message`` units per message."""
+
+    model = "congest"
+    enforces = True
+    needs_units = True
+
+    def __init__(self, ids_per_message: int = 4):
+        if ids_per_message < 1:
+            raise ValueError("budget must allow at least one identifier")
+        self.ids_per_message = ids_per_message
+
+    def admit(self, round_index: int, sender: int, receiver: int, units: int) -> None:
+        if units > self.ids_per_message:
+            raise MessageTooLargeError(
+                sender,
+                units,
+                self.ids_per_message,
+                round_index=round_index,
+                receiver=receiver,
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Scenario knobs the pre-engine API could not express.
+
+    * ``drop_probability`` — each delivered message is independently
+      lost with this probability (seeded RNG, so runs reproduce);
+    * ``crashed`` — vertices (simulator-side labels) that never start:
+      a crashed node runs no algorithm, sends nothing, and swallows
+      anything addressed to it (tallied separately from drops, in
+      ``EngineResult.swallowed_messages``).
+
+    Protocol *correctness* under faults is not guaranteed — that is the
+    point: the engine reports what a protocol actually does when the
+    network misbehaves.
+    """
+
+    drop_probability: float = 0.0
+    crashed: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {self.drop_probability}"
+            )
+        object.__setattr__(self, "crashed", tuple(self.crashed))
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.drop_probability == 0.0 and not self.crashed
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced.
+
+    ``round_stats`` is ``None`` unless the trace policy was ``"full"``;
+    with policy ``"off"`` the message/payload totals are not collected
+    and stay zero.
+    """
+
+    outputs: dict[Vertex, object]
+    rounds: int
+    total_messages: int
+    total_payload: int
+    round_stats: list[RoundStats] | None
+    dropped_messages: int = 0
+    """Messages lost to the fault plan's ``drop_probability`` RNG."""
+    swallowed_messages: int = 0
+    """Messages addressed to crashed nodes (never delivered)."""
+    crashed: tuple = ()
+
+    @property
+    def trace(self) -> Trace:
+        """Compatibility view for consumers of the old ``Trace`` shape."""
+        return Trace(rounds=list(self.round_stats or []))
+
+
+class SimulationEngine:
+    """Synchronous round loop over a :class:`Network`, policy-driven.
+
+    Semantics (identical to the historical runtime for fault-free LOCAL
+    runs): every round, all non-halted nodes act on the previous round's
+    inbox, then all queued messages are delivered simultaneously; the
+    run ends when every live node has halted.  Exceeding ``max_rounds``
+    raises — an algorithm that cannot bound its rounds is not a LOCAL
+    algorithm.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        scheduler: Scheduler | None = None,
+        *,
+        max_rounds: int = 10_000,
+        faults: FaultPlan | None = None,
+        trace: str = "full",
+        seed: int = 0,
+    ):
+        if trace not in TRACE_POLICIES:
+            raise ValueError(
+                f"unknown trace policy {trace!r}; choose from {TRACE_POLICIES}"
+            )
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        self.network = network
+        self.scheduler = scheduler if scheduler is not None else LocalScheduler()
+        self.max_rounds = max_rounds
+        self.faults = faults if faults is not None else FaultPlan()
+        self.trace_policy = trace
+        self.seed = seed
+        unknown = [v for v in self.faults.crashed if v not in network.nodes]
+        if unknown:
+            raise ValueError(f"crashed vertices not in the network: {unknown!r}")
+        # Adjacency-indexed delivery buffer: routes[v][port] is the
+        # (receiver, back port) pair the message on that port lands on.
+        self._routes: dict[Vertex, list[tuple[Node, int]]] = {
+            v: [
+                (network.nodes[u], network.port_toward(u, v))
+                for u in node.ports
+            ]
+            for v, node in network.nodes.items()
+        }
+
+    def run(self, algorithm_factory: Callable[[], LocalAlgorithm]) -> EngineResult:
+        """Run to completion; returns outputs plus the configured trace."""
+        crashed = set(self.faults.crashed)
+        live = {
+            v: node for v, node in self.network.nodes.items() if v not in crashed
+        }
+        algorithms = {v: algorithm_factory() for v in live}
+        ids = self.network.ids
+        routes = self._routes
+        enforce = (
+            self.scheduler.admit
+            if getattr(self.scheduler, "enforces", True)
+            else None
+        )
+        record = self.trace_policy != "off"
+        need_units = record or self.scheduler.needs_units
+        round_stats: list[RoundStats] | None = (
+            [] if self.trace_policy == "full" else None
+        )
+        drop_p = self.faults.drop_probability
+        rng = random.Random(self.seed) if drop_p > 0.0 else None
+
+        rounds = 0
+        total_messages = 0
+        total_payload = 0
+        dropped = 0
+        swallowed = 0
+        received: list[Node] = []
+
+        outboxes: dict[Vertex, dict[int, object]] = {}
+        for v, node in live.items():
+            ctx = NodeContext(node)
+            algorithms[v].on_init(ctx)
+            if ctx.outbox:
+                outboxes[v] = ctx.outbox
+
+        for round_index in range(1, self.max_rounds + 1):
+            if all(node.halted for node in live.values()):
+                break
+
+            # Accounting + admission on the full round snapshot, before
+            # any delivery — a rejected round leaves no partial state.
+            messages = 0
+            units_this_round = 0
+            for v, outbox in outboxes.items():
+                messages += len(outbox)
+                if need_units or enforce is not None:
+                    sender_routes = routes[v]
+                    sender_uid = ids[v]
+                    for port, payload in outbox.items():
+                        units = payload_size(payload) if need_units else 0
+                        units_this_round += units
+                        if enforce is not None:
+                            enforce(
+                                round_index,
+                                sender_uid,
+                                sender_routes[port][0].uid,
+                                units,
+                            )
+
+            # Delivery: rebind fresh inboxes for last round's receivers,
+            # then move payloads by reference through the route index.
+            for node in received:
+                node.inbox = {}
+            received = []
+            for v, outbox in outboxes.items():
+                sender_routes = routes[v]
+                for port, payload in outbox.items():
+                    if rng is not None and rng.random() < drop_p:
+                        dropped += 1
+                        continue
+                    receiver, back_port = sender_routes[port]
+                    if receiver.vertex in crashed:
+                        swallowed += 1
+                        continue
+                    if not receiver.inbox:
+                        received.append(receiver)
+                    receiver.inbox[back_port] = payload
+
+            rounds = round_index
+            if record:
+                total_messages += messages
+                total_payload += units_this_round
+                if round_stats is not None:
+                    round_stats.append(
+                        RoundStats(
+                            round_index=round_index,
+                            messages=messages,
+                            payload_units=units_this_round,
+                        )
+                    )
+
+            outboxes = {}
+            for v, node in live.items():
+                if node.halted:
+                    continue
+                ctx = NodeContext(node)
+                algorithms[v].on_round(ctx)
+                if ctx.outbox and not node.halted:
+                    outboxes[v] = ctx.outbox
+        else:
+            raise RuntimeError(
+                f"algorithm did not halt within {self.max_rounds} rounds"
+            )
+
+        return EngineResult(
+            outputs=self.network.outputs(),
+            rounds=rounds,
+            total_messages=total_messages,
+            total_payload=total_payload,
+            round_stats=round_stats,
+            dropped_messages=dropped,
+            swallowed_messages=swallowed,
+            crashed=tuple(self.faults.crashed),
+        )
+
+
+def scheduler_for(model: str, budget: int = 4) -> Scheduler:
+    """Build the scheduler for a model name (``"local"``/``"congest"``)."""
+    if model == "local":
+        return LocalScheduler()
+    if model == "congest":
+        return CongestScheduler(budget)
+    raise ValueError(f"unknown model {model!r}; choose from {MODELS}")

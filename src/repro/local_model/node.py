@@ -44,6 +44,13 @@ class NodeContext:
     Exposes identifier, degree, per-round inbox (port → payload), and an
     outbox.  Anything else (neighbor identifiers, topology) must be
     learned through messages.
+
+    Payloads are **immutable by convention**: the engine moves them from
+    outbox to inbox by reference, without defensive copies.  Do not
+    mutate a payload after sending it, and treat received payloads as
+    read-only — build a new object to forward modified knowledge.  (The
+    engine rebinds a fresh inbox dict each round, so *holding on to* an
+    inbox mapping across rounds is safe; mutating its values is not.)
     """
 
     def __init__(self, node: Node):
@@ -60,7 +67,9 @@ class NodeContext:
 
     @property
     def inbox(self) -> dict[int, Any]:
-        return dict(self._node.inbox)
+        """This round's messages (port → payload).  Read-only by the
+        immutability convention; returned by reference, not copied."""
+        return self._node.inbox
 
     @property
     def state(self) -> dict[str, Any]:

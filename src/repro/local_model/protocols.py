@@ -4,7 +4,9 @@ The view-gathering reduction ("collect ``G[N^r[v]]``, then decide") is
 the standard executable semantics of a LOCAL algorithm, but the paper's
 constant-round results deserve protocols written the way a systems
 implementation would send them — explicit messages per round, no
-generic flooding.  This module implements three:
+generic flooding.  This module implements them:
+
+* :class:`TakeAllProtocol` — the 0-round "every vertex joins" baseline;
 
 * :class:`DegreeTwoProtocol` — the folklore tree rule (footnote 3),
   2 rounds: round 1 *hello*, round 2 decide by received-message count;
@@ -30,6 +32,21 @@ from repro.local_model.node import NodeContext
 Vertex = Hashable
 
 
+class TakeAllProtocol(LocalAlgorithm):
+    """The 0-round folklore baseline: every vertex joins immediately.
+
+    Halts at initialisation without sending anything — the executable
+    form of Table 1's "take all" row (``t``-approximation on
+    ``K_{1,t}``-minor-free graphs).
+    """
+
+    def on_init(self, ctx: NodeContext) -> None:
+        ctx.halt(True)
+
+    def on_round(self, ctx: NodeContext) -> None:  # pragma: no cover
+        pass
+
+
 class DegreeTwoProtocol(LocalAlgorithm):
     """Output ``True`` iff the node has degree ≥ 2 (else the smallest id
     of its component when it can tell it is in a K_1/K_2 component).
@@ -49,7 +66,13 @@ class DegreeTwoProtocol(LocalAlgorithm):
         if ctx.degree == 0:
             ctx.halt(True)  # isolated vertex must dominate itself
             return
-        (_, neighbor_uid, neighbor_degree) = next(iter(ctx.inbox.values()))
+        hello = next(iter(ctx.inbox.values()), None)
+        if hello is None:
+            # The neighbor's hello was lost (fault injection): join
+            # conservatively instead of guessing the component shape.
+            ctx.halt(True)
+            return
+        (_, neighbor_uid, neighbor_degree) = hello
         if neighbor_degree == 1:
             # K_2 component: the smaller identifier joins.
             ctx.halt(ctx.uid < neighbor_uid)

@@ -1,23 +1,28 @@
-"""Synchronous scheduler for the LOCAL simulator.
+"""Deprecated LOCAL-runtime wrapper over the unified engine.
 
-Executes a :class:`~repro.local_model.algorithm.LocalAlgorithm` on a
-:class:`~repro.local_model.network.Network`: every round, all nodes act
-on the previous round's inbox, then messages are delivered
-simultaneously.  The run ends when every node has halted (or the round
-limit trips, which raises — an algorithm that cannot bound its rounds is
-not a LOCAL algorithm).
+The synchronous round loop now lives in
+:class:`repro.local_model.engine.SimulationEngine`, where LOCAL and
+CONGEST are pluggable :class:`~repro.local_model.engine.Scheduler`
+policies of one engine.  :class:`SynchronousRuntime` is kept as a thin
+backward-compatible wrapper (LOCAL scheduler, full trace); new code
+should drive the engine directly or go through the
+:func:`repro.api.simulate` front door.
+
+Delivery is immutable-by-convention: payloads move by reference with no
+per-round defensive copies — see the contract in
+:mod:`repro.local_model.engine` and :class:`~repro.local_model.node.
+NodeContext`.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.local_model.algorithm import LocalAlgorithm
-from repro.local_model.instrumentation import RoundStats, Trace, payload_size
+from repro.local_model.engine import SimulationEngine
+from repro.local_model.instrumentation import Trace
 from repro.local_model.network import Network
-from repro.local_model.node import NodeContext
 
 Vertex = Hashable
 
@@ -36,51 +41,24 @@ class RunResult:
 
 
 class SynchronousRuntime:
-    """Drives one algorithm instance per node through synchronous rounds."""
+    """Deprecated: the LOCAL-model engine behind the historical name.
+
+    Equivalent to ``SimulationEngine(network, LocalScheduler(),
+    trace="full")``; behavior (round semantics, trace accounting, the
+    round-limit raise) is unchanged.
+    """
 
     def __init__(self, network: Network, max_rounds: int = 10_000):
         self.network = network
         self.max_rounds = max_rounds
 
+    def _engine(self) -> SimulationEngine:
+        return SimulationEngine(self.network, max_rounds=self.max_rounds)
+
     def run(self, algorithm_factory: Callable[[], LocalAlgorithm]) -> RunResult:
         """Run to completion; returns outputs and the round/message trace."""
-        algorithms = {v: algorithm_factory() for v in self.network.nodes}
-        trace = Trace()
-
-        # Initialisation (round 0 messages are queued here).
-        outboxes: dict[Vertex, dict[int, object]] = {}
-        for v, node in self.network.nodes.items():
-            ctx = NodeContext(node)
-            algorithms[v].on_init(ctx)
-            if ctx.outbox:
-                outboxes[v] = ctx.outbox
-
-        for round_index in range(1, self.max_rounds + 1):
-            if all(node.halted for node in self.network.nodes.values()):
-                break
-            messages = sum(len(box) for box in outboxes.values())
-            units = sum(
-                payload_size(payload)
-                for box in outboxes.values()
-                for payload in box.values()
-            )
-            self.network.deliver(outboxes)
-            trace.rounds.append(
-                RoundStats(round_index=round_index, messages=messages, payload_units=units)
-            )
-            outboxes = {}
-            for v, node in self.network.nodes.items():
-                if node.halted:
-                    continue
-                ctx = NodeContext(node)
-                algorithms[v].on_round(ctx)
-                if ctx.outbox and not node.halted:
-                    outboxes[v] = ctx.outbox
-        else:
-            raise RuntimeError(
-                f"algorithm did not halt within {self.max_rounds} rounds"
-            )
-        return RunResult(outputs=self.network.outputs(), trace=trace)
+        result = self._engine().run(algorithm_factory)
+        return RunResult(outputs=result.outputs, trace=result.trace)
 
 
 def run_algorithm(

@@ -49,6 +49,78 @@ class TestCli:
         assert payload["valid"] is True
         assert payload["instance"]["family"] == "fan"
 
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--family", "tree", "--size", "15", "--algorithm", "d2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model=local" in out
+        assert "rounds=3" in out
+        assert "chosen" in out
+
+    def test_simulate_congest_json(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "tree", "--size", "8",
+                "--algorithm", "degree_two", "--model", "congest", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "congest"
+        assert payload["spec"]["budget"] == 4
+        assert payload["outputs"]
+
+    def test_simulate_congest_rejection_is_actionable(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "star", "--size", "8",
+                "--algorithm", "d2", "--model", "congest",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "in round" in err and "to node" in err
+        assert "--budget" in err
+
+    def test_simulate_faults(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "12",
+                "--algorithm", "d2", "--faults", "drop=0.2,crash=0", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashed"] == [0]
+        assert payload["dropped_messages"] > 0
+        assert payload["spec"]["faults"]["drop_probability"] == 0.2
+
+    def test_simulate_bad_faults_is_clear_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "10",
+                "--algorithm", "d2", "--faults", "sabotage=1",
+            ]
+        )
+        assert code == 2
+        assert "unknown fault knob" in capsys.readouterr().err
+
+    def test_simulate_round_limit_is_clean_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "tree", "--size", "15",
+                "--algorithm", "d2", "--max-rounds", "1",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "did not halt within 1 rounds" in err
+        assert "--max-rounds" in err
+
+    def test_simulate_choices_are_engine_capable_only(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--family", "fan", "--size", "10", "--algorithm", "exact"])
+
     def test_compare(self, capsys):
         code = main(["compare", "--family", "ladder", "--size", "12"])
         assert code == 0
