@@ -6,25 +6,49 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
-from repro.graphs.util import closed_neighborhood_of_set
+from repro.graphs.kernel import kernel_for
 
 Vertex = Hashable
 
 
 def undominated_vertices(graph: nx.Graph, candidate: Iterable[Vertex]) -> set[Vertex]:
-    """Vertices of ``graph`` not dominated by ``candidate``."""
-    dominated = closed_neighborhood_of_set(graph, candidate)
-    return set(graph.nodes) - dominated
+    """Vertices of ``graph`` not dominated by ``candidate``.
+
+    Runs on the graph's bitset kernel: one OR per candidate vertex, one
+    complement — no per-call ``set(graph.nodes)`` materialisation, and
+    only the actually-undominated bits are converted back to labels.
+    """
+    kernel = kernel_for(graph)
+    return kernel.labels_of(kernel.full_mask & ~kernel.union_closed_bits(candidate))
 
 
 def is_dominating_set(graph: nx.Graph, candidate: Iterable[Vertex]) -> bool:
-    """Return whether ``candidate`` dominates all of ``graph``."""
-    return not undominated_vertices(graph, candidate)
+    """Return whether ``candidate`` dominates all of ``graph``.
+
+    Fast path: one closed-bitset OR per candidate vertex and a single
+    integer comparison — a dominating candidate never pays for
+    materialising the undominated remainder (the kernel's ``dominates``
+    check, label-direct).
+    """
+    return kernel_for(graph).dominates_vertices(candidate)
 
 
 def is_b_dominating_set(
     graph: nx.Graph, candidate: Iterable[Vertex], targets: Iterable[Vertex]
 ) -> bool:
-    """Return whether ``candidate`` dominates every vertex of ``targets``."""
-    dominated = closed_neighborhood_of_set(graph, candidate)
-    return set(targets) <= dominated
+    """Return whether ``candidate`` dominates every vertex of ``targets``.
+
+    A target that is not a vertex of ``graph`` is simply not dominated
+    (the answer is ``False``, matching the historical set-inclusion
+    semantics), whereas an unknown *candidate* vertex is an error.
+    """
+    kernel = kernel_for(graph)
+    dominated = kernel.union_closed_bits(candidate)
+    index_of = kernel.index_of
+    mask = 0
+    for v in targets:
+        i = index_of.get(v)
+        if i is None:  # a target outside V(G) cannot be dominated
+            return False
+        mask |= 1 << i
+    return not (mask & ~dominated)

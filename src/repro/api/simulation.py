@@ -237,6 +237,11 @@ def simulate_many(
     fields the parallel batch is byte-identical to the serial one under
     JSON.  Capability checks run before any work starts, so a bad
     name/model fails fast instead of mid-sweep.
+
+    Serial batches that revisit a graph (e.g. the S7 identifier sweep:
+    one graph, many specs) reuse the graph's cached
+    :class:`~repro.graphs.kernel.GraphKernel` — port orders and
+    delivery routes are derived once per graph, not once per run.
     """
     if isinstance(specs, (SimulationSpec, str)):
         spec_list = [_as_spec(specs)]

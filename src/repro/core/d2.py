@@ -21,8 +21,8 @@ from typing import Hashable
 import networkx as nx
 
 from repro.core.results import AlgorithmResult
+from repro.graphs.kernel import kernel_for
 from repro.graphs.twins import remove_true_twins
-from repro.graphs.util import closed_neighborhood
 
 Vertex = Hashable
 
@@ -33,18 +33,29 @@ def gamma(graph: nx.Graph, v: Vertex) -> int:
     """``γ(v)``: 1 when a single other vertex dominates ``N[v]``, else ≥ 2.
 
     Only the 1-versus-more distinction matters to the algorithm, so the
-    return value is capped at 2.
+    return value is capped at 2.  ``N[v] ⊆ N[u]`` is one bitset subset
+    test per neighbor on the graph's kernel.
     """
-    n_v = closed_neighborhood(graph, v)
-    for u in graph.neighbors(v):
-        if n_v <= closed_neighborhood(graph, u):
+    kernel = kernel_for(graph)
+    closed = kernel.closed_bits
+    i = kernel.index(v)
+    n_v = closed[i]
+    for j in kernel.neighbor_row(i):
+        if not (n_v & ~closed[j]):
             return 1
     return 2
 
 
 def d2_set(graph: nx.Graph) -> set[Vertex]:
     """``D₂(G)``: vertices whose closed neighborhood needs ≥ 2 dominators."""
-    return {v for v in graph.nodes if gamma(graph, v) >= 2}
+    kernel = kernel_for(graph)
+    closed = kernel.closed_bits
+    members = 0
+    for i in range(kernel.n):
+        n_v = closed[i]
+        if all(n_v & ~closed[j] for j in kernel.neighbor_row(i)):
+            members |= 1 << i
+    return kernel.labels_of(members)
 
 
 def d2_dominating_set(graph: nx.Graph) -> AlgorithmResult:

@@ -3,6 +3,8 @@
 This subpackage implements every graph-theoretic primitive the paper
 relies on:
 
+* the CSR + bitset graph kernel every hot path runs on
+  (:mod:`repro.graphs.kernel`),
 * neighborhood/ball utilities (:mod:`repro.graphs.util`),
 * true-twin reduction (:mod:`repro.graphs.twins`),
 * global and *local* cut machinery, Definition 2.1 of the paper
@@ -16,6 +18,7 @@ relies on:
   :mod:`repro.graphs.random_families`, :mod:`repro.graphs.families`).
 """
 
+from repro.graphs.kernel import GraphKernel, invalidate_kernel, kernel_for
 from repro.graphs.util import (
     closed_neighborhood,
     closed_neighborhood_of_set,
@@ -56,6 +59,9 @@ from repro.graphs.asdim import (
 )
 
 __all__ = [
+    "GraphKernel",
+    "kernel_for",
+    "invalidate_kernel",
     "closed_neighborhood",
     "closed_neighborhood_of_set",
     "ball",

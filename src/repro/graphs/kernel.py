@@ -1,0 +1,385 @@
+"""Compact graph kernel: CSR adjacency + closed-neighborhood bitsets.
+
+Every hot loop in the reproduction — domination checks, greedy residual
+spans, ``N^r[v]`` balls, and the simulation engine's delivery routing —
+used to re-walk ``nx.Graph`` adjacency dictionaries, allocating a fresh
+Python set per call.  :class:`GraphKernel` is the shared compact
+representation those loops run on instead:
+
+* vertices are relabelled to ``0..n-1`` in deterministic ``repr`` order
+  (the same ordering :func:`repro.graphs.util.relabel_to_integers` and
+  the port-numbered :class:`~repro.local_model.network.Network` use, so
+  kernel index order *is* port order);
+* adjacency is stored once in CSR form (``indptr``/``indices`` as
+  ``array('q')``), each row sorted by neighbor index;
+* every closed neighborhood ``N[v]`` is precomputed as a Python-int
+  bitset, so ``N[S]`` is a loop of ``|S|`` bitwise ORs and a residual
+  span is a single ``int.bit_count()``.
+
+Caching contract
+----------------
+
+Kernels are built once per graph through :func:`kernel_for` and cached
+in a :class:`weakref.WeakKeyDictionary`, so the kernel lives exactly as
+long as the graph object.  A kernel assumes the graph is **not mutated
+after** ``kernel_for`` — mutate the graph and you must rebuild.  The
+cache-hit path stays O(1), so the only automatic guard is the node
+count: mutations that change it rebuild transparently, while any
+equal-count mutation (edge rewires, node replacement) requires
+:func:`invalidate_kernel` (or simply not mutating — the contract; see
+README "Performance").
+
+Masks are plain Python ints: bit ``i`` set means "vertex with kernel
+index ``i`` is in the set".  ``full_mask`` has all ``n`` bits set.
+
+Memory profile: the precomputed closed-neighborhood bitsets hold one
+``n``-bit int per vertex — O(n²/8) bytes in the worst case (~12 MB at
+n = 10⁴, ~1.2 GB at n = 10⁵).  The kernel targets the 10³–10⁴ range
+the experiment workloads live in; far beyond that, the networkx
+representation (O(n + m)) is the right tool again.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from bisect import bisect_left
+from typing import Hashable, Iterable, Iterator
+
+import networkx as nx
+
+Vertex = Hashable
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+# Bit positions set in each byte value — lets dense masks be decoded
+# bytewise (256-entry table + one to_bytes call) instead of with
+# O(popcount) big-int isolate-lowest-bit operations.
+_BYTE_BITS = tuple(
+    tuple(j for j in range(8) if value >> j & 1) for value in range(256)
+)
+
+
+class GraphKernel:
+    """Immutable CSR + bitset snapshot of an ``nx.Graph``.
+
+    Build through :func:`kernel_for` (cached), not directly, unless you
+    explicitly want an uncached snapshot.
+    """
+
+    __slots__ = (
+        "n",
+        "labels",
+        "index_of",
+        "indptr",
+        "indices",
+        "closed_bits",
+        "full_mask",
+        "_back_ports",
+        "_dense_cut",
+        "__weakref__",
+    )
+
+    def __init__(self, graph: nx.Graph):
+        labels: list[Vertex] = sorted(graph.nodes, key=repr)
+        index_of = {label: i for i, label in enumerate(labels)}
+        n = len(labels)
+        indptr = array("q", [0])
+        indices = array("q")
+        closed_bits: list[int] = []
+        for i, label in enumerate(labels):
+            row = sorted(index_of[u] for u in graph.neighbors(label))
+            indices.extend(row)
+            indptr.append(len(indices))
+            bits = 1 << i
+            for j in row:
+                bits |= 1 << j
+            closed_bits.append(bits)
+        self.n = n
+        self.labels = labels
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.closed_bits = closed_bits
+        self.full_mask = (1 << n) - 1
+        self._back_ports: array | None = None
+        # Ball walks go bitset-dense past this many visited vertices.
+        self._dense_cut = max(64, n >> 3)
+
+    # -- label <-> index <-> mask conversions --------------------------------
+
+    def index(self, label: Vertex) -> int:
+        """Kernel index of ``label``; raises ``KeyError`` when absent."""
+        return self.index_of[label]
+
+    def label(self, index: int) -> Vertex:
+        """Vertex label at kernel ``index``."""
+        return self.labels[index]
+
+    def bits_of(self, vertices: Iterable[Vertex]) -> int:
+        """Bitset mask of an iterable of vertex labels."""
+        index_of = self.index_of
+        mask = 0
+        for v in vertices:
+            mask |= 1 << index_of[v]
+        return mask
+
+    def labels_of(self, mask: int) -> set[Vertex]:
+        """Vertex labels of the set bits of ``mask``.
+
+        Sparse masks decode bit-by-bit; dense masks decode bytewise
+        (256-entry table over ``to_bytes``), which costs O(n/8) byte
+        visits instead of O(popcount) big-int isolate-lowest ops.
+        """
+        if not mask:
+            return set()
+        labels = self.labels
+        if mask.bit_count() * 8 < mask.bit_length():
+            return {labels[i] for i in iter_bits(mask)}
+        byte_bits = _BYTE_BITS
+        result: set[Vertex] = set()
+        base = 0
+        for byte in mask.to_bytes((mask.bit_length() + 7) // 8, "little"):
+            if byte:
+                for j in byte_bits[byte]:
+                    result.add(labels[base + j])
+            base += 8
+        return result
+
+    def neighbor_row(self, index: int) -> array:
+        """CSR row of ``index``: neighbor indices, sorted ascending."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def degree(self, index: int) -> int:
+        return self.indptr[index + 1] - self.indptr[index]
+
+    # -- domination primitives ----------------------------------------------
+
+    def closed_neighborhood_bits(self, mask: int) -> int:
+        """``N[S]`` as a bitset, for ``S`` given as a bitset."""
+        closed = self.closed_bits
+        result = 0
+        for i in iter_bits(mask):
+            result |= closed[i]
+        return result
+
+    def union_closed_bits(self, vertices: Iterable[Vertex]) -> int:
+        """``N[S]`` as a bitset, straight from vertex *labels*.
+
+        The label-direct twin of :meth:`closed_neighborhood_bits`: one
+        dict lookup + OR per vertex, no intermediate mask to build and
+        re-decompose — this is the hot entry the domination checkers
+        use.
+        """
+        closed = self.closed_bits
+        index_of = self.index_of
+        result = 0
+        for v in vertices:
+            result |= closed[index_of[v]]
+        return result
+
+    def dominates(self, mask: int) -> bool:
+        """Whether the vertex set ``mask`` dominates the whole graph."""
+        return self.closed_neighborhood_bits(mask) == self.full_mask
+
+    def dominates_vertices(self, vertices: Iterable[Vertex]) -> bool:
+        """Whether the vertices (given as labels) dominate the graph."""
+        return self.union_closed_bits(vertices) == self.full_mask
+
+    def undominated(self, mask: int) -> int:
+        """Bitset of vertices not dominated by the vertex set ``mask``."""
+        return self.full_mask & ~self.closed_neighborhood_bits(mask)
+
+    def span_counts(self, undominated_mask: int) -> list[int]:
+        """Residual spans ``|N[v] ∩ U|`` for every vertex, as a list.
+
+        Incremental consumers (the distributed greedy's phase loop)
+        refresh individual entries in place with
+        ``(closed_bits[i] & undominated).bit_count()`` instead of
+        recomputing the whole list.
+        """
+        closed = self.closed_bits
+        return [(bits & undominated_mask).bit_count() for bits in closed]
+
+    # -- balls (frontier BFS on CSR) ----------------------------------------
+    #
+    # Hybrid strategy: while the ball is small relative to n, walk CSR
+    # rows with a plain index set (small-int ops only — no O(n/64)
+    # big-int work per frontier vertex, so tiny balls on huge graphs
+    # stay as cheap as adjacency BFS).  Once the visited set crosses
+    # ``_dense_cut`` the walk converts to bitsets and finishes with
+    # whole-row ORs, which win exactly when frontiers are dense.
+
+    def _mask_from_indices(self, indices: Iterable[int]) -> int:
+        flags = bytearray((self.n + 7) >> 3)
+        for i in indices:
+            flags[i >> 3] |= 1 << (i & 7)
+        return int.from_bytes(flags, "little")
+
+    def _expand_dense(self, seen: int, frontier: int, steps: int) -> int:
+        # Frontiers here are dense by construction, so decode them
+        # bytewise (O(n/8) byte visits) rather than with per-bit
+        # isolate-lowest ops, each of which costs O(n/64) words.
+        closed = self.closed_bits
+        byte_bits = _BYTE_BITS
+        for _ in range(steps):
+            if not frontier:
+                break
+            reach = 0
+            base = 0
+            for byte in frontier.to_bytes((frontier.bit_length() + 7) // 8, "little"):
+                if byte:
+                    for j in byte_bits[byte]:
+                        reach |= closed[base + j]
+                base += 8
+            frontier = reach & ~seen
+            seen |= frontier
+        return seen
+
+    def _ball_walk(self, start: Iterable[int], radius: int) -> tuple[bool, object]:
+        """BFS core; returns ``(dense, seen)`` — a bitset when ``dense``,
+        an index set otherwise."""
+        indptr, indices = self.indptr, self.indices
+        cut = self._dense_cut
+        seen = set(start)
+        frontier = list(seen)
+        step = 0
+        while step < radius and frontier:
+            if len(seen) > cut:
+                return True, self._expand_dense(
+                    self._mask_from_indices(seen),
+                    self._mask_from_indices(frontier),
+                    radius - step,
+                )
+            grown = []
+            for u in frontier:
+                for j in indices[indptr[u] : indptr[u + 1]]:
+                    if j not in seen:
+                        seen.add(j)
+                        grown.append(j)
+            frontier = grown
+            step += 1
+        return False, seen
+
+    def ball_bits(self, center: Vertex, radius: int) -> int:
+        """``N^r[center]`` as a bitset; frontier BFS over CSR rows."""
+        if radius < 0:
+            return 0
+        i = self.index_of[center]
+        if radius == 0:
+            return 1 << i
+        dense, seen = self._ball_walk([i], radius)
+        return seen if dense else self._mask_from_indices(seen)
+
+    def ball_bits_from_mask(self, mask: int, radius: int) -> int:
+        """``N^r[S]`` as a bitset for ``S`` given as a bitset."""
+        if radius <= 0 or not mask:
+            return 0 if radius < 0 else mask
+        if mask.bit_count() > self._dense_cut:
+            return self._expand_dense(mask, mask, radius)
+        dense, seen = self._ball_walk(iter_bits(mask), radius)
+        return seen if dense else self._mask_from_indices(seen)
+
+    def ball_labels(self, center: Vertex, radius: int) -> set[Vertex]:
+        """``N^r[center]`` as a set of vertex labels (no mask round-trip
+        for small balls — the fast path :func:`repro.graphs.util.ball`
+        rides)."""
+        if radius < 0:
+            return set()
+        i = self.index_of[center]
+        labels = self.labels
+        if radius == 0:
+            return {labels[i]}
+        dense, seen = self._ball_walk([i], radius)
+        if dense:
+            return self.labels_of(seen)
+        return {labels[i] for i in seen}
+
+    def ball_labels_of_set(self, vertices: Iterable[Vertex], radius: int) -> set[Vertex]:
+        """``N^r[S]`` as a set of labels, for ``S`` given as labels."""
+        index_of = self.index_of
+        start = [index_of[v] for v in vertices]
+        if radius < 0:
+            return set()
+        labels = self.labels
+        if radius == 0:
+            return {labels[i] for i in start}
+        dense, seen = self._ball_walk(start, radius)
+        if dense:
+            return self.labels_of(seen)
+        return {labels[i] for i in seen}
+
+    # -- engine routing ------------------------------------------------------
+
+    def back_ports(self) -> array:
+        """Per-edge-slot back ports, aligned with ``indices``.
+
+        For the directed slot ``s`` in row ``u`` pointing at ``v``,
+        ``back_ports()[s]`` is the position of ``u`` inside row ``v`` —
+        i.e. the receiver port a message sent on ``u``'s port
+        ``s - indptr[u]`` lands on.  Rows are sorted, so the reverse
+        slot is found by binary search; computed once, then cached.
+        """
+        if self._back_ports is None:
+            indptr, indices = self.indptr, self.indices
+            back = array("q", bytes(8 * len(indices)))
+            for u in range(self.n):
+                for s in range(indptr[u], indptr[u + 1]):
+                    v = indices[s]
+                    back[s] = bisect_left(indices, u, indptr[v], indptr[v + 1]) - indptr[v]
+            self._back_ports = back
+        return self._back_ports
+
+
+_KERNELS: "weakref.WeakKeyDictionary[nx.Graph, GraphKernel]"
+_KERNELS = weakref.WeakKeyDictionary()
+
+
+# Per-graph caches derived from kernel-era state (e.g. the memoized
+# outerplanarity verdict).  invalidate_kernel clears them alongside the
+# kernel itself, so one call recovers from any mutation.
+_DERIVED_CACHES: list = []
+
+
+def register_derived_cache(cache: "weakref.WeakKeyDictionary") -> None:
+    """Register a per-graph cache for :func:`invalidate_kernel` to clear."""
+    _DERIVED_CACHES.append(cache)
+
+
+def kernel_for(graph: nx.Graph) -> GraphKernel:
+    """The cached :class:`GraphKernel` of ``graph`` (built on first use).
+
+    The cache-hit path must stay O(1) — it sits in front of every hot
+    primitive — so the only mutation guard applied per call is the node
+    count.  A mutation that changes the node count triggers a rebuild;
+    any mutation that keeps it (edge rewires, but also equal-count node
+    replacement) does **not** and is on the caller: either stop
+    mutating after ``kernel_for`` (the contract) or call
+    :func:`invalidate_kernel` after the mutation.
+    """
+    kernel = _KERNELS.get(graph)
+    if kernel is not None and kernel.n == graph.number_of_nodes():
+        return kernel
+    kernel = GraphKernel(graph)
+    try:
+        _KERNELS[graph] = kernel
+    except TypeError:  # graph type that cannot be weak-referenced
+        pass
+    return kernel
+
+
+def invalidate_kernel(graph: nx.Graph) -> None:
+    """Drop every cached view of ``graph`` (call after mutating it)."""
+    try:
+        _KERNELS.pop(graph, None)
+        for cache in _DERIVED_CACHES:
+            cache.pop(graph, None)
+    except TypeError:  # not weak-referenceable: nothing was ever cached
+        pass

@@ -20,6 +20,8 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
+from repro.graphs.kernel import kernel_for
+
 Vertex = Hashable
 
 
@@ -32,49 +34,31 @@ def closed_neighborhood(graph: nx.Graph, v: Vertex) -> set[Vertex]:
 
 def closed_neighborhood_of_set(graph: nx.Graph, vertices: Iterable[Vertex]) -> set[Vertex]:
     """Return ``N[S] = S ∪ {u : u adjacent to some v in S}``."""
-    result: set[Vertex] = set()
-    for v in vertices:
-        result.add(v)
-        result.update(graph.neighbors(v))
-    return result
+    kernel = kernel_for(graph)
+    return kernel.labels_of(kernel.union_closed_bits(vertices))
 
 
 def ball(graph: nx.Graph, center: Vertex, radius: int) -> set[Vertex]:
     """Return ``N^r[center]``: all vertices at distance at most ``radius``.
 
-    Implemented as a truncated breadth-first search; ``radius = 0`` returns
-    ``{center}`` and negative radii return the empty set.
+    Implemented as a frontier BFS on the graph's bitset kernel;
+    ``radius = 0`` returns ``{center}`` and negative radii return the
+    empty set.
     """
     if radius < 0:
         return set()
-    seen = {center}
-    frontier = deque([(center, 0)])
-    while frontier:
-        vertex, dist = frontier.popleft()
-        if dist == radius:
-            continue
-        for neighbor in graph.neighbors(vertex):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                frontier.append((neighbor, dist + 1))
-    return seen
+    if radius == 0:
+        return {center}
+    return kernel_for(graph).ball_labels(center, radius)
 
 
 def ball_of_set(graph: nx.Graph, centers: Iterable[Vertex], radius: int) -> set[Vertex]:
-    """Return ``N^r[S] = ∪_{v∈S} N^r[v]`` via one multi-source BFS."""
+    """Return ``N^r[S] = ∪_{v∈S} N^r[v]`` via one multi-source frontier BFS."""
     if radius < 0:
         return set()
-    seen = set(centers)
-    frontier = deque((v, 0) for v in seen)
-    while frontier:
-        vertex, dist = frontier.popleft()
-        if dist == radius:
-            continue
-        for neighbor in graph.neighbors(vertex):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                frontier.append((neighbor, dist + 1))
-    return seen
+    if radius == 0:
+        return set(centers)
+    return kernel_for(graph).ball_labels_of_set(centers, radius)
 
 
 def induced_ball(graph: nx.Graph, center: Vertex, radius: int) -> nx.Graph:

@@ -233,12 +233,21 @@ class SimulationEngine:
             raise ValueError(f"crashed vertices not in the network: {unknown!r}")
         # Adjacency-indexed delivery buffer: routes[v][port] is the
         # (receiver, back port) pair the message on that port lands on.
+        # Built straight off the graph kernel's CSR rows: the neighbor
+        # on port p of v is indices[indptr[i] + p], and the back port
+        # comes from the kernel's precomputed reverse-slot array — no
+        # per-edge dictionary chains.
+        kernel = network.kernel
+        indptr, indices = kernel.indptr, kernel.indices
+        back = kernel.back_ports()
+        labels = kernel.labels
+        nodes = network.nodes
         self._routes: dict[Vertex, list[tuple[Node, int]]] = {
             v: [
-                (network.nodes[u], network.port_toward(u, v))
-                for u in node.ports
+                (nodes[labels[indices[s]]], back[s])
+                for s in range(indptr[i], indptr[i + 1])
             ]
-            for v, node in network.nodes.items()
+            for i, v in enumerate(labels)
         }
 
     def run(self, algorithm_factory: Callable[[], LocalAlgorithm]) -> EngineResult:

@@ -6,6 +6,7 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.graphs.kernel import GraphKernel, kernel_for
 from repro.local_model.identifiers import identity_ids
 from repro.local_model.node import Node
 
@@ -17,6 +18,9 @@ class Network:
 
     Port order is the sorted order of neighbor labels — any fixed order
     is fine in the LOCAL model; sorting keeps simulations reproducible.
+    The ordering comes from the graph's :class:`GraphKernel` (kernel
+    index order *is* repr-sorted order), so ports are read straight off
+    the CSR rows instead of re-sorting every adjacency list.
     """
 
     def __init__(self, graph: nx.Graph, ids: dict[Vertex, int] | None = None):
@@ -25,19 +29,25 @@ class Network:
         if any(u == v for u, v in graph.edges):
             raise ValueError("self-loops are not allowed")
         self.graph = graph
+        self.kernel: GraphKernel = kernel_for(graph)
         self.ids = ids if ids is not None else identity_ids(graph)
         if set(self.ids) != set(graph.nodes):
             raise ValueError("identifier assignment must cover exactly V(G)")
         if len(set(self.ids.values())) != len(self.ids):
             raise ValueError("identifiers must be unique")
+        labels = self.kernel.labels
+        index_of = self.kernel.index_of
         self.nodes: dict[Vertex, Node] = {}
+        # graph.nodes order (not kernel order) keeps the node-dict
+        # iteration order — and with it the fault-plan RNG pairing —
+        # identical to the historical runtime.
         for v in graph.nodes:
-            ports = sorted(graph.neighbors(v), key=repr)
+            ports = [labels[j] for j in self.kernel.neighbor_row(index_of[v])]
             self.nodes[v] = Node(vertex=v, uid=self.ids[v], ports=ports)
-        # port_back[v][u] = the port of u that leads back to v
-        self._port_of: dict[Vertex, dict[Vertex, int]] = {
-            v: {u: p for p, u in enumerate(node.ports)} for v, node in self.nodes.items()
-        }
+        # port_back[v][u] = the port of u that leads back to v; built
+        # lazily — the engine routes through the kernel's CSR reverse
+        # slots and never touches these dictionaries.
+        self._port_of: dict[Vertex, dict[Vertex, int]] | None = None
 
     @property
     def size(self) -> int:
@@ -45,6 +55,11 @@ class Network:
 
     def port_toward(self, node: Vertex, neighbor: Vertex) -> int:
         """The port of ``node`` whose link leads to ``neighbor``."""
+        if self._port_of is None:
+            self._port_of = {
+                v: {u: p for p, u in enumerate(n.ports)}
+                for v, n in self.nodes.items()
+            }
         return self._port_of[node][neighbor]
 
     def deliver(self, outboxes: dict[Vertex, dict[int, object]]) -> int:

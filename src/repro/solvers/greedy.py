@@ -12,7 +12,7 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
-from repro.graphs.util import closed_neighborhood, closed_neighborhood_of_set
+from repro.graphs.kernel import iter_bits, kernel_for
 
 Vertex = Hashable
 
@@ -24,29 +24,34 @@ def greedy_b_dominating_set(
 ) -> set[Vertex]:
     """Greedy set of ``candidates`` dominating ``targets``.
 
-    Deterministic: ties break toward the smallest vertex (repr order).
+    Deterministic: ties break toward the smallest vertex (repr order —
+    which is exactly the kernel's index order, so scanning candidate
+    bits ascending with a strict improvement test reproduces the
+    historical tie-breaking).  Each gain is one AND + ``bit_count`` on
+    the kernel's closed-neighborhood bitsets.
     """
-    remaining = set(targets)
+    kernel = kernel_for(graph)
+    remaining = kernel.bits_of(targets)
     if not remaining:
         return set()
     if candidates is None:
-        candidate_set = closed_neighborhood_of_set(graph, remaining)
+        candidate_mask = kernel.closed_neighborhood_bits(remaining)
     else:
-        candidate_set = set(candidates)
-    covers = {c: closed_neighborhood(graph, c) & remaining for c in candidate_set}
+        candidate_mask = kernel.bits_of(candidates)
+    closed = kernel.closed_bits
 
-    chosen: set[Vertex] = set()
+    chosen = 0
     while remaining:
-        gain, pick = 0, None
-        for c in sorted(candidate_set - chosen, key=repr):
-            value = len(covers[c] & remaining)
+        gain, pick = 0, -1
+        for c in iter_bits(candidate_mask & ~chosen):
+            value = (closed[c] & remaining).bit_count()
             if value > gain:
                 gain, pick = value, c
-        if pick is None:
+        if pick < 0:
             raise ValueError("some target cannot be dominated by any candidate")
-        chosen.add(pick)
-        remaining -= covers[pick]
-    return chosen
+        chosen |= 1 << pick
+        remaining &= ~closed[pick]
+    return kernel.labels_of(chosen)
 
 
 def greedy_dominating_set(graph: nx.Graph) -> set[Vertex]:
