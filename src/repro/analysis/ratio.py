@@ -8,8 +8,8 @@ from typing import Hashable, Iterable
 import networkx as nx
 
 from repro.analysis.domination import is_dominating_set
-from repro.solvers.exact import minimum_dominating_set
-from repro.solvers.vc import is_vertex_cover, minimum_vertex_cover
+from repro.solvers.opt_cache import optimum_solution
+from repro.solvers.vc import is_vertex_cover
 
 Vertex = Hashable
 
@@ -37,11 +37,13 @@ def measure_ratio(
 ) -> RatioReport:
     """Measure a dominating-set solution against the exact optimum.
 
-    ``optimum`` can be precomputed (Table 1 reuses it across algorithms).
+    ``optimum`` can be passed in precomputed; when omitted it comes from
+    the per-instance OPT cache (:mod:`repro.solvers.opt_cache`), so
+    repeated measurements on the same graph solve exactly once.
     """
     solution_set = set(solution)
     if optimum is None:
-        optimum = minimum_dominating_set(graph)
+        optimum = optimum_solution(graph, "mds")
     return RatioReport(
         algorithm_size=len(solution_set),
         optimum_size=len(optimum),
@@ -54,10 +56,10 @@ def measure_vc_ratio(
     solution: Iterable[Vertex],
     optimum: set[Vertex] | None = None,
 ) -> RatioReport:
-    """Measure a vertex-cover solution against the exact optimum."""
+    """Measure a vertex-cover solution against the exact optimum (cached)."""
     solution_set = set(solution)
     if optimum is None:
-        optimum = minimum_vertex_cover(graph)
+        optimum = optimum_solution(graph, "mvc")
     return RatioReport(
         algorithm_size=len(solution_set),
         optimum_size=len(optimum),

@@ -190,7 +190,7 @@ def _run_greedy_central(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
     tags=("reference",),
 )
 def _run_exact(graph: nx.Graph, config: RunConfig) -> AlgorithmResult:
-    return full_gather_exact(graph, solver=config.solver)
+    return full_gather_exact(graph, solver=config.solver, use_cache=config.opt_cache)
 
 
 @register_algorithm(

@@ -40,6 +40,12 @@ class RunConfig:
       ``exact`` algorithm: ``"milp"`` (scipy/HiGHS) or ``"bnb"``
       (pure-Python branch and bound).  MDS only — MVC optima always use
       the MILP backend;
+    * ``opt_cache`` — serve ``validate="ratio"`` optima from the
+      per-instance cache (:mod:`repro.solvers.opt_cache`), so a batch
+      solves each instance exactly once per backend.  All backends are
+      deterministic, so disabling the cache (the CLI's
+      ``--no-opt-cache``) never changes a reported number — it only
+      re-solves;
     * ``seed`` — recorded in reports for provenance (instance generation
       happens upstream; the algorithms themselves are deterministic).
     """
@@ -48,6 +54,7 @@ class RunConfig:
     mode: str = "fast"
     validate: str = "valid"
     solver: str = "milp"
+    opt_cache: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -6,6 +6,20 @@
 ProcessPoolExecutor` while keeping the result order deterministic
 (instance-major, then the algorithm order as given) — the parallel run
 returns exactly the serial run's reports, in the same order.
+
+Batch structure
+---------------
+
+Tasks are grouped **instance-major**: one parallel task is one instance
+together with *every* algorithm in the batch.  That shape is what makes
+``validate="ratio"`` sweeps cheap — the exact optimum depends only on
+the instance, so each task computes OPT once (through
+:mod:`repro.solvers.opt_cache`) and every algorithm's ratio shares it,
+in the serial path and inside each worker process alike.  Instances
+cross the process boundary as :class:`~repro.graphs.kernel.KernelWire`
+CSR snapshots instead of pickled ``nx.Graph`` adjacency dicts: each
+instance is serialised once per batch (not once per algorithm), and the
+worker rebuilds graph + kernel in one linear pass.
 """
 
 from __future__ import annotations
@@ -20,22 +34,19 @@ import repro.api.algorithms  # noqa: F401  (populates the registry)
 from repro.api.config import RunConfig, RunReport, instance_meta, measured_ratio
 from repro.api.registry import AlgorithmSpec, get_algorithm
 from repro.analysis.domination import is_dominating_set
-from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
-from repro.solvers.exact import minimum_dominating_set
-from repro.solvers.vc import is_vertex_cover, minimum_vertex_cover
+from repro.graphs.kernel import KernelWire, graph_from_wire, kernel_for
+from repro.solvers.opt_cache import optimum_size
+from repro.solvers.vc import is_vertex_cover
 
 
 def _optimum_size(graph: nx.Graph, spec: AlgorithmSpec, config: RunConfig) -> int:
-    """|OPT| for the spec's problem kind.
+    """|OPT| for the spec's problem kind, via the per-instance cache.
 
     ``config.solver`` selects the MDS backend only; MVC optima always
     use the MILP backend (no pure-Python MVC solver is shipped).
     """
-    if spec.problem == "mvc":
-        return len(minimum_vertex_cover(graph))
-    if config.solver == "bnb":
-        return len(bnb_minimum_dominating_set(graph))
-    return len(minimum_dominating_set(graph))
+    solver = "milp" if spec.problem == "mvc" else config.solver
+    return optimum_size(graph, spec.problem, solver, use_cache=config.opt_cache)
 
 
 def _check_valid(graph: nx.Graph, spec: AlgorithmSpec, solution: set) -> bool:
@@ -103,10 +114,24 @@ def _normalise_instances(
     return out
 
 
-def _solve_task(task: tuple[dict, nx.Graph, str, RunConfig]) -> RunReport:
-    """Module-level worker so ProcessPoolExecutor can pickle it."""
-    meta, graph, algorithm, config = task
-    return solve(graph, algorithm, config, meta=meta)
+def _run_instance(
+    meta: dict, graph: nx.Graph, algorithms: Sequence[str], config: RunConfig
+) -> list[RunReport]:
+    """Every algorithm on one instance; OPT is shared through the cache."""
+    return [solve(graph, name, config, meta=meta) for name in algorithms]
+
+
+def _solve_instance_task(
+    task: tuple[dict, KernelWire, Sequence[str], RunConfig],
+) -> list[RunReport]:
+    """Module-level worker so ProcessPoolExecutor can pickle it.
+
+    Rebuilds graph + kernel from the CSR wire once, then runs the whole
+    algorithm list on it — one deserialisation and (for ratio runs) one
+    exact solve per instance, regardless of how many algorithms ride.
+    """
+    meta, wire, algorithms, config = task
+    return _run_instance(meta, graph_from_wire(wire), algorithms, config)
 
 
 def solve_many(
@@ -120,10 +145,10 @@ def solve_many(
 
     ``instances`` may be bare graphs or ``(meta, graph)`` pairs (the
     shape :func:`repro.io.read_corpus` returns).  ``workers`` > 1 runs
-    the batch in a process pool; ordering is deterministic either way:
-    instance-major, algorithms in the order given.  Capability checks
-    run *before* any work starts, so a bad mode/name fails fast instead
-    of mid-sweep.
+    the batch in a process pool, one instance-major chunk of tasks per
+    dispatch; ordering is deterministic either way: instance-major,
+    algorithms in the order given.  Capability checks run *before* any
+    work starts, so a bad mode/name fails fast instead of mid-sweep.
     """
     config = config or RunConfig()
     if isinstance(algorithms, str):
@@ -133,16 +158,21 @@ def solve_many(
     for name in algorithm_list:
         get_algorithm(name).check_mode(config.mode)
 
-    tasks = [
-        (meta, graph, name, config)
-        for meta, graph in _normalise_instances(instances)
-        for name in algorithm_list
-    ]
-    if not tasks:
+    pairs = _normalise_instances(instances)
+    if not pairs or not algorithm_list:
         return []
     if workers is None or workers <= 1:
-        return [_solve_task(task) for task in tasks]
+        reports: list[RunReport] = []
+        for meta, graph in pairs:
+            reports.extend(_run_instance(meta, graph, algorithm_list, config))
+        return reports
+    tasks = [
+        (meta, kernel_for(graph).to_wire(), algorithm_list, config)
+        for meta, graph in pairs
+    ]
+    chunksize = max(1, len(tasks) // (workers * 4))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # Executor.map preserves submission order, giving parallel runs
         # the exact serial ordering.
-        return list(pool.map(_solve_task, tasks))
+        batches = pool.map(_solve_instance_task, tasks, chunksize=chunksize)
+        return [report for batch in batches for report in batch]

@@ -40,13 +40,11 @@ from repro.api import (
     solve,
     solve_many,
 )
-from repro.api.config import measured_ratio
+from repro.api.config import SOLVER_BACKENDS
 from repro.api.simulation import ID_SCHEMES
 from repro.graphs.families import FAMILIES, get_family
 from repro.io import run_report_to_dict, sim_report_to_dict
 from repro.local_model.engine import MODELS, TRACE_POLICIES, MessageTooLargeError
-from repro.solvers.exact import minimum_dominating_set
-from repro.solvers.vc import minimum_vertex_cover
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,6 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--workers", type=int, default=None,
         help="process-parallel runs (deterministic ordering)",
+    )
+    compare.add_argument(
+        "--solver", default="milp", choices=list(SOLVER_BACKENDS),
+        help="exact backend for the shared ratio denominator "
+        "(MDS only; MVC optima always use MILP)",
+    )
+    compare.add_argument(
+        "--no-opt-cache", action="store_true",
+        help="re-solve the exact optimum per run instead of sharing the "
+        "per-instance cache (numbers are identical either way)",
     )
     compare.add_argument("--json", action="store_true", help="emit RunReports as JSON")
 
@@ -127,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--workers", type=int, default=None,
         help="process-parallel Table 1 regeneration",
+    )
+    report.add_argument(
+        "--solver", default="milp", choices=list(SOLVER_BACKENDS),
+        help="exact backend for every ratio denominator in the report",
+    )
+    report.add_argument(
+        "--no-opt-cache", action="store_true",
+        help="re-solve exact optima per run instead of sharing the "
+        "per-instance cache",
     )
     return parser
 
@@ -262,26 +279,25 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.problem == "mvc" and args.solver == "bnb":
+        print(
+            "error: no pure-Python MVC solver is shipped; "
+            "--problem mvc requires --solver milp",
+            file=sys.stderr,
+        )
+        return 2
     graph, meta = _instance(args)
-    # One exact solve for the shared ratio denominator (validate="ratio"
-    # inside solve_many would re-solve the same instance per algorithm).
-    if args.problem == "mvc":
-        optimum = len(minimum_vertex_cover(graph))
-    else:
-        optimum = len(minimum_dominating_set(graph))
-    config = RunConfig(validate="valid")
+    # The per-instance OPT cache inside solve_many shares one exact
+    # solve across every algorithm — no hand-rolled reuse needed.
+    config = RunConfig(
+        validate="ratio", solver=args.solver, opt_cache=not args.no_opt_cache
+    )
     reports = solve_many(
         [(meta, graph)],
         algorithm_names(args.problem),
         config,
         workers=args.workers,
     )
-    for report in reports:
-        report.optimum_size = optimum
-        report.ratio = measured_ratio(report.size, optimum)
-        # The ratio fields were computed (against the same deterministic
-        # exact optimum solve() would use), so record that level.
-        report.config = config.with_(validate="ratio")
     if args.json:
         print(json.dumps([run_report_to_dict(r) for r in reports], indent=1))
         return 0
@@ -289,6 +305,7 @@ def _cmd_compare(args) -> int:
         [r.algorithm, r.size, r.ratio, r.rounds, r.valid]
         for r in reports
     ]
+    optimum = reports[0].optimum_size if reports else 0
     print(f"family={args.family} n={graph.number_of_nodes()} opt={optimum}")
     print(format_table(["algorithm", "size", "ratio", "rounds", "valid"], rows))
     return 0
@@ -335,7 +352,14 @@ def _cmd_families() -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import full_report
 
-    print(full_report(args.scale, workers=args.workers))
+    print(
+        full_report(
+            args.scale,
+            workers=args.workers,
+            solver=args.solver,
+            opt_cache=not args.no_opt_cache,
+        )
+    )
     return 0
 
 

@@ -20,8 +20,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.core.results import AlgorithmResult
-from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
-from repro.solvers.exact import minimum_dominating_set
+from repro.solvers.opt_cache import optimum_solution
 
 Vertex = Hashable
 
@@ -62,7 +61,9 @@ def take_all_vertices(graph: nx.Graph) -> AlgorithmResult:
     )
 
 
-def full_gather_exact(graph: nx.Graph, solver: str = "milp") -> AlgorithmResult:
+def full_gather_exact(
+    graph: nx.Graph, solver: str = "milp", use_cache: bool = True
+) -> AlgorithmResult:
     """Exact MDS after gathering the whole graph (footnote 2).
 
     Charges ``diam(G) + 1`` rounds — the cost of every vertex learning
@@ -70,18 +71,19 @@ def full_gather_exact(graph: nx.Graph, solver: str = "milp") -> AlgorithmResult:
     computes identically.  ``solver`` picks the exact backend:
     ``"milp"`` (scipy/HiGHS) or ``"bnb"`` (pure-Python branch and
     bound); both are deterministic and agree on the optimum size.
+    ``use_cache`` mirrors ``RunConfig.opt_cache`` — ``False`` re-solves
+    instead of reading the per-instance cache.
     """
     if graph.number_of_nodes() == 0:
         return AlgorithmResult(name="full_gather_exact", solution=set(), rounds=0)
     diameter = max(
         nx.diameter(graph.subgraph(c)) for c in nx.connected_components(graph)
     )
-    if solver == "bnb":
-        solution = bnb_minimum_dominating_set(graph)
-    elif solver == "milp":
-        solution = minimum_dominating_set(graph)
-    else:
+    if solver not in ("milp", "bnb"):
         raise ValueError(f"unknown solver {solver!r}; choose 'milp' or 'bnb'")
+    # Served from the per-instance OPT cache, so running `exact` with
+    # ratio validation solves each instance once, not twice.
+    solution = set(optimum_solution(graph, "mds", solver, use_cache=use_cache))
     return AlgorithmResult(
         name="full_gather_exact",
         solution=solution,

@@ -25,16 +25,23 @@ from repro.experiments.sweeps import (
 from repro.experiments.table1 import table1_report, table1_simulation_rows
 
 
-def full_report(scale: str = "small", workers: int | None = None) -> str:
+def full_report(
+    scale: str = "small",
+    workers: int | None = None,
+    solver: str = "milp",
+    opt_cache: bool = True,
+) -> str:
     """Every experiment, rendered to one text block.
 
     ``workers`` parallelises the Table 1 regeneration (the dominant
-    cost) through :func:`repro.api.solve_many`.
+    cost) through :func:`repro.api.solve_many`; ``solver``/``opt_cache``
+    select the exact backend for Table 1's ratio denominators and
+    whether per-instance optima are shared.
     """
     sections = [
         (
             "Table 1 — constant-round MDS approximation landscape",
-            table1_report(scale, workers=workers),
+            table1_report(scale, workers=workers, solver=solver, opt_cache=opt_cache),
         ),
         (
             "Table 1b — engine cross-check (fast path vs per-node protocol)",
@@ -63,8 +70,17 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--solver", default="milp", choices=["milp", "bnb"])
+    parser.add_argument("--no-opt-cache", action="store_true")
     args = parser.parse_args()
-    print(full_report(args.scale, workers=args.workers))
+    print(
+        full_report(
+            args.scale,
+            workers=args.workers,
+            solver=args.solver,
+            opt_cache=not args.no_opt_cache,
+        )
+    )
 
 
 if __name__ == "__main__":

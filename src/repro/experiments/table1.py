@@ -75,12 +75,17 @@ def table1_rows(
     scale: str = "small",
     policy: RadiusPolicy | None = None,
     workers: int | None = None,
+    solver: str = "milp",
+    opt_cache: bool = True,
 ) -> list[Table1Row]:
     """Measure every row of Table 1 (plus a greedy reference row).
 
     ``policy`` overrides the radius policy of the Algorithm 1 rows
     (default: the practical preset — see DESIGN.md's radius discussion);
-    ``workers`` runs each row's instance batch process-parallel.
+    ``workers`` runs each row's instance batch process-parallel;
+    ``solver``/``opt_cache`` pick the exact backend for every ratio
+    denominator and whether per-instance optima are shared (they are
+    deterministic either way).
     """
     if policy is None:
         policy = RadiusPolicy.practical()
@@ -90,8 +95,8 @@ def table1_rows(
     def suite(name: str) -> Workload:
         return make_workload(name, sizes, seeds)
 
-    measured = RunConfig(validate="ratio")
-    measured_alg1 = RunConfig(validate="ratio", policy=policy)
+    measured = RunConfig(validate="ratio", solver=solver, opt_cache=opt_cache)
+    measured_alg1 = measured.with_(policy=policy)
 
     rows = [
         _run_row(
@@ -173,9 +178,14 @@ def table1_simulation_rows(
     return rows
 
 
-def table1_report(scale: str = "small", workers: int | None = None) -> str:
+def table1_report(
+    scale: str = "small",
+    workers: int | None = None,
+    solver: str = "milp",
+    opt_cache: bool = True,
+) -> str:
     """Render the measured Table 1 as aligned text."""
-    rows = table1_rows(scale, workers=workers)
+    rows = table1_rows(scale, workers=workers, solver=solver, opt_cache=opt_cache)
     headers = [
         "graph class", "algorithm", "paper ratio", "paper rounds",
         "ratio mean", "ratio max", "rounds max", "n", "valid",

@@ -44,11 +44,28 @@ from __future__ import annotations
 import weakref
 from array import array
 from bisect import bisect_left
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, NamedTuple
 
 import networkx as nx
 
 Vertex = Hashable
+
+
+class KernelWire(NamedTuple):
+    """Compact picklable snapshot of a kernel: labels + raw CSR bytes.
+
+    This is the batch runner's wire format: one ``KernelWire`` per
+    instance replaces pickling the ``nx.Graph`` adjacency dicts once per
+    ``(instance, algorithm)`` task.  It carries topology and vertex
+    labels only — node/edge attribute dicts are not shipped (nothing in
+    the solver/experiment stack reads them).  Rebuild with
+    :func:`graph_from_wire`, which also pre-seeds the kernel cache so
+    the receiving process never re-derives the CSR.
+    """
+
+    labels: tuple
+    indptr: bytes
+    indices: bytes
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -112,6 +129,38 @@ class GraphKernel:
         self._back_ports: array | None = None
         # Ball walks go bitset-dense past this many visited vertices.
         self._dense_cut = max(64, n >> 3)
+
+    @classmethod
+    def _from_csr(cls, labels: list[Vertex], indptr: array, indices: array) -> "GraphKernel":
+        """Rebuild a kernel from already-canonical CSR parts.
+
+        ``labels`` must be repr-sorted and each CSR row ascending — the
+        invariants :meth:`to_wire` snapshots — so only the closed
+        bitsets need recomputing (no re-sort, no dict-driven walk of an
+        ``nx.Graph``).
+        """
+        self = object.__new__(cls)
+        n = len(labels)
+        closed_bits: list[int] = []
+        for i in range(n):
+            bits = 1 << i
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                bits |= 1 << j
+            closed_bits.append(bits)
+        self.n = n
+        self.labels = labels
+        self.index_of = {label: i for i, label in enumerate(labels)}
+        self.indptr = indptr
+        self.indices = indices
+        self.closed_bits = closed_bits
+        self.full_mask = (1 << n) - 1
+        self._back_ports = None
+        self._dense_cut = max(64, n >> 3)
+        return self
+
+    def to_wire(self) -> KernelWire:
+        """This kernel as a :class:`KernelWire` (labels + CSR bytes)."""
+        return KernelWire(tuple(self.labels), self.indptr.tobytes(), self.indices.tobytes())
 
     # -- label <-> index <-> mask conversions --------------------------------
 
@@ -373,6 +422,36 @@ def kernel_for(graph: nx.Graph) -> GraphKernel:
     except TypeError:  # graph type that cannot be weak-referenced
         pass
     return kernel
+
+
+def graph_from_wire(wire: KernelWire) -> nx.Graph:
+    """Rebuild the graph a :class:`KernelWire` was snapshotted from.
+
+    The returned ``nx.Graph`` has the wire's labels and edges, and its
+    :class:`GraphKernel` is reconstructed straight from the CSR bytes
+    and pre-seeded into the :func:`kernel_for` cache — a worker process
+    receiving a wire pays one linear pass, not a full kernel build, and
+    every kernel-backed primitive on the rebuilt graph is warm.
+    """
+    labels = list(wire.labels)
+    indptr = array("q")
+    indptr.frombytes(wire.indptr)
+    indices = array("q")
+    indices.frombytes(wire.indices)
+    graph = nx.Graph()
+    graph.add_nodes_from(labels)
+    graph.add_edges_from(
+        (labels[u], labels[j])
+        for u in range(len(labels))
+        for j in indices[indptr[u] : indptr[u + 1]]
+        if j >= u  # >= keeps self-loops round-tripping
+    )
+    kernel = GraphKernel._from_csr(labels, indptr, indices)
+    try:
+        _KERNELS[graph] = kernel
+    except TypeError:  # graph type that cannot be weak-referenced
+        pass
+    return graph
 
 
 def invalidate_kernel(graph: nx.Graph) -> None:

@@ -94,6 +94,7 @@ def run_config_to_dict(config: "RunConfig") -> dict:
         "mode": config.mode,
         "validate": config.validate,
         "solver": config.solver,
+        "opt_cache": config.opt_cache,
         "seed": config.seed,
     }
 
@@ -111,6 +112,7 @@ def run_config_from_dict(data: dict) -> "RunConfig":
         mode=data.get("mode", "fast"),
         validate=data.get("validate", "valid"),
         solver=data.get("solver", "milp"),
+        opt_cache=data.get("opt_cache", True),
         seed=data.get("seed", 0),
     )
 

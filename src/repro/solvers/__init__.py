@@ -32,6 +32,11 @@ from repro.solvers.bounds import (
     two_packing_lower_bound,
     lp_lower_bound,
 )
+from repro.solvers.opt_cache import (
+    clear_opt_cache,
+    optimum_size,
+    optimum_solution,
+)
 
 __all__ = [
     "minimum_dominating_set",
@@ -48,4 +53,7 @@ __all__ = [
     "degree_lower_bound",
     "two_packing_lower_bound",
     "lp_lower_bound",
+    "clear_opt_cache",
+    "optimum_size",
+    "optimum_solution",
 ]

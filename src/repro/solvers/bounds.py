@@ -1,4 +1,4 @@
-"""Lower bounds on the domination number.
+"""Bounds on the domination number, shared with branch-and-bound.
 
 Used to sanity-check measured ratios (an algorithm's output divided by a
 *lower bound* upper-bounds the true ratio) and inside branch-and-bound.
@@ -7,6 +7,13 @@ Used to sanity-check measured ratios (an algorithm's output divided by a
 * 2-packing — vertices pairwise at distance ≥ 3 need distinct
   dominators (greedy and exact variants);
 * LP relaxation of the domination ILP.
+
+The combinatorial bounds run on the graph's
+:class:`~repro.graphs.kernel.GraphKernel` bitsets, and the mask-level
+cores (:func:`greedy_cover_mask`, :class:`PackingBound`) are exactly
+what :mod:`repro.solvers.branch_and_bound` uses for its incumbent and
+its per-node lower bound — one implementation for B&B and standalone
+callers alike.
 """
 
 from __future__ import annotations
@@ -19,9 +26,83 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 from scipy.sparse import csr_matrix
 
+from repro.graphs.kernel import GraphKernel, iter_bits, kernel_for
 from repro.graphs.util import ball, closed_neighborhood
 
 Vertex = Hashable
+
+
+# -- mask-level cores (shared with branch-and-bound) -----------------------
+
+
+def greedy_cover_mask(kernel: GraphKernel, target_mask: int, candidate_mask: int) -> int:
+    """Greedy cover of ``target_mask`` by ``candidate_mask`` bits.
+
+    The classical set-cover greedy on closed-neighborhood bitsets: each
+    gain is one AND + ``bit_count``, ties break toward the lowest kernel
+    index (= ``repr`` order, the historical tie-break).  The popcount of
+    the returned mask is a valid upper bound on the restricted
+    domination number — branch-and-bound uses it as its incumbent, and
+    :func:`repro.solvers.greedy.greedy_b_dominating_set` is a label
+    wrapper around it.
+    """
+    closed = kernel.closed_bits
+    remaining = target_mask
+    chosen = 0
+    while remaining:
+        gain, pick = 0, -1
+        for c in iter_bits(candidate_mask & ~chosen):
+            value = (closed[c] & remaining).bit_count()
+            if value > gain:
+                gain, pick = value, c
+        if pick < 0:
+            raise ValueError("some target cannot be dominated by any candidate")
+        chosen |= 1 << pick
+        remaining &= ~closed[pick]
+    return chosen
+
+
+class PackingBound:
+    """Greedy disjoint-``N[b]`` packing of targets, on kernel bitsets.
+
+    Targets whose closed neighborhoods are pairwise disjoint (within the
+    candidate pool) each need their own dominator, so the greedy packing
+    size lower-bounds the restricted domination number.  Construction
+    precomputes, per target ``b``, the mask of targets blocked by
+    covering ``b`` (``⋃_{c ∈ N[b] ∩ candidates} N[c] ∩ targets``) and a
+    static fail-first visit order (fewest coverers first, kernel index
+    as tie-break); :meth:`bound` is then a pure mask loop — cheap enough
+    to run at every branch-and-bound node.
+    """
+
+    __slots__ = ("_order", "_block")
+
+    def __init__(self, kernel: GraphKernel, target_mask: int, candidate_mask: int):
+        closed = kernel.closed_bits
+        keyed = []
+        block: dict[int, int] = {}
+        for b in iter_bits(target_mask):
+            coverers = closed[b] & candidate_mask
+            blocked = 0
+            for c in iter_bits(coverers):
+                blocked |= closed[c]
+            block[b] = blocked & target_mask
+            keyed.append((coverers.bit_count(), b))
+        keyed.sort()
+        self._order = [b for _, b in keyed]
+        self._block = block
+
+    def bound(self, remaining: int) -> int:
+        """Packing lower bound for the still-undominated ``remaining``."""
+        block = self._block
+        count = 0
+        blocked = 0
+        for b in self._order:
+            bit = 1 << b
+            if remaining & bit and not blocked & bit:
+                count += 1
+                blocked |= block[b]
+        return count
 
 
 def degree_lower_bound(graph: nx.Graph) -> int:
@@ -35,15 +116,19 @@ def degree_lower_bound(graph: nx.Graph) -> int:
 
 def two_packing_lower_bound(graph: nx.Graph) -> int:
     """Greedy 2-packing: pairwise distance-≥3 vertices (each needs its own
-    dominator).  Deterministic greedy by ascending degree, then repr."""
-    blocked: set[Vertex] = set()
+    dominator).  Deterministic greedy by ascending degree, then repr
+    (kernel index order *is* repr order), with the blocked set kept as a
+    kernel bitset and each radius-2 ball one kernel BFS."""
+    kernel = kernel_for(graph)
+    labels = kernel.labels
+    blocked = 0
     count = 0
-    order = sorted(graph.nodes, key=lambda v: (graph.degree(v), repr(v)))
-    for v in order:
-        if v in blocked:
+    order = sorted(range(kernel.n), key=lambda i: (kernel.degree(i), i))
+    for i in order:
+        if blocked >> i & 1:
             continue
         count += 1
-        blocked |= ball(graph, v, 2)
+        blocked |= kernel.ball_bits(labels[i], 2)
     return count
 
 

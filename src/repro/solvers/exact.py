@@ -101,5 +101,7 @@ def minimum_dominating_set(graph: nx.Graph) -> set[Vertex]:
 
 
 def domination_number(graph: nx.Graph) -> int:
-    """``MDS(G)`` as a number."""
-    return len(minimum_dominating_set(graph))
+    """``MDS(G)`` as a number (served from the per-instance OPT cache)."""
+    from repro.solvers.opt_cache import optimum_size  # lazy: avoids cycle
+
+    return optimum_size(graph, "mds", "milp")

@@ -12,7 +12,8 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
-from repro.graphs.kernel import iter_bits, kernel_for
+from repro.graphs.kernel import kernel_for
+from repro.solvers.bounds import greedy_cover_mask
 
 Vertex = Hashable
 
@@ -27,8 +28,9 @@ def greedy_b_dominating_set(
     Deterministic: ties break toward the smallest vertex (repr order —
     which is exactly the kernel's index order, so scanning candidate
     bits ascending with a strict improvement test reproduces the
-    historical tie-breaking).  Each gain is one AND + ``bit_count`` on
-    the kernel's closed-neighborhood bitsets.
+    historical tie-breaking).  The mask core is
+    :func:`repro.solvers.bounds.greedy_cover_mask` — the same
+    implementation branch-and-bound seeds its incumbent with.
     """
     kernel = kernel_for(graph)
     remaining = kernel.bits_of(targets)
@@ -38,20 +40,7 @@ def greedy_b_dominating_set(
         candidate_mask = kernel.closed_neighborhood_bits(remaining)
     else:
         candidate_mask = kernel.bits_of(candidates)
-    closed = kernel.closed_bits
-
-    chosen = 0
-    while remaining:
-        gain, pick = 0, -1
-        for c in iter_bits(candidate_mask & ~chosen):
-            value = (closed[c] & remaining).bit_count()
-            if value > gain:
-                gain, pick = value, c
-        if pick < 0:
-            raise ValueError("some target cannot be dominated by any candidate")
-        chosen |= 1 << pick
-        remaining &= ~closed[pick]
-    return kernel.labels_of(chosen)
+    return kernel.labels_of(greedy_cover_mask(kernel, remaining, candidate_mask))
 
 
 def greedy_dominating_set(graph: nx.Graph) -> set[Vertex]:

@@ -1,0 +1,127 @@
+"""Per-instance cache of exact optima (the ratio-sweep denominator).
+
+Every ``validate="ratio"`` run divides by ``|OPT|``, and OPT is by far
+the most expensive thing the batch runner computes — yet it depends only
+on the instance, not on the algorithm under test.  This module memoises
+exact solutions per graph so a 12-algorithm comparison solves each
+instance exactly once instead of twelve times.
+
+Keying
+------
+
+Entries are keyed by **kernel identity + problem + backend**: the cache
+maps a graph (weakly) to its :class:`~repro.graphs.kernel.GraphKernel`
+at solve time plus a ``(problem, solver) -> frozenset`` table.  A lookup
+first re-derives ``kernel_for(graph)`` — if the kernel object changed
+(node-count-changing mutation, or an explicit
+:func:`~repro.graphs.kernel.invalidate_kernel`), the stored optima are
+stale and are dropped.  The cache also registers itself as a derived
+cache, so ``invalidate_kernel(graph)`` clears both in one call; the
+mutation contract is exactly the kernel's (see README "Performance").
+
+All backends here are deterministic for a fixed input, so a cached
+solution is byte-for-byte the solution an uncached call would produce —
+enabling the cache can never change a reported ``ratio`` or
+``optimum_size``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.kernel import kernel_for, register_derived_cache
+
+Vertex = Hashable
+
+PROBLEMS = ("mds", "mvc")
+
+_CACHE: "weakref.WeakKeyDictionary[nx.Graph, dict]" = weakref.WeakKeyDictionary()
+register_derived_cache(_CACHE)
+
+_STATS = {"hits": 0, "misses": 0}
+
+
+def _solve(graph: nx.Graph, problem: str, solver: str) -> frozenset:
+    """Uncached exact solve; the single dispatch point over backends."""
+    if problem == "mvc":
+        if solver != "milp":
+            raise ValueError(
+                "no pure-Python MVC solver is shipped; "
+                "MVC optima require solver='milp'"
+            )
+        from repro.solvers.vc import minimum_vertex_cover
+
+        return frozenset(minimum_vertex_cover(graph))
+    if problem != "mds":
+        raise ValueError(f"unknown problem {problem!r}; choose from {PROBLEMS}")
+    if solver == "bnb":
+        from repro.solvers.branch_and_bound import bnb_minimum_dominating_set
+
+        return frozenset(bnb_minimum_dominating_set(graph))
+    if solver == "milp":
+        from repro.solvers.exact import minimum_dominating_set
+
+        return frozenset(minimum_dominating_set(graph))
+    raise ValueError(f"unknown solver backend {solver!r}; choose 'milp' or 'bnb'")
+
+
+def optimum_solution(
+    graph: nx.Graph,
+    problem: str = "mds",
+    solver: str = "milp",
+    *,
+    use_cache: bool = True,
+) -> frozenset:
+    """An exact optimum solution, cached per (kernel, problem, backend).
+
+    ``use_cache=False`` bypasses both lookup and store — the escape
+    hatch the CLI exposes as ``--no-opt-cache``.
+    """
+    if not use_cache:
+        return _solve(graph, problem, solver)
+    kernel = kernel_for(graph)
+    try:
+        entry = _CACHE.get(graph)
+    except TypeError:  # graph type that cannot be weak-referenced
+        return _solve(graph, problem, solver)
+    if entry is None or entry["kernel"] is not kernel:
+        entry = {"kernel": kernel, "solutions": {}}
+        _CACHE[graph] = entry
+    key = (problem, solver)
+    solution = entry["solutions"].get(key)
+    if solution is not None:
+        _STATS["hits"] += 1
+        return solution
+    _STATS["misses"] += 1
+    solution = _solve(graph, problem, solver)
+    entry["solutions"][key] = solution
+    return solution
+
+
+def optimum_size(
+    graph: nx.Graph,
+    problem: str = "mds",
+    solver: str = "milp",
+    *,
+    use_cache: bool = True,
+) -> int:
+    """``|OPT|`` for the given problem/backend (cached)."""
+    return len(optimum_solution(graph, problem, solver, use_cache=use_cache))
+
+
+def clear_opt_cache() -> None:
+    """Drop every cached optimum (benchmarks use this to measure cold)."""
+    _CACHE.clear()
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-wide hit/miss counters (reset with :func:`reset_cache_stats`)."""
+    return dict(_STATS)
+
+
+def reset_cache_stats() -> None:
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0

@@ -1,16 +1,83 @@
-"""Tests for the branch-and-bound solver (cross-checked against MILP)."""
+"""Tests for the branch-and-bound solver (cross-checked against MILP
+and against the pre-bitset legacy implementation, kept verbatim below)."""
 
 import networkx as nx
 import pytest
 
 from repro.analysis.domination import is_b_dominating_set, is_dominating_set
 from repro.graphs import generators as gen
+from repro.graphs.families import get_family
 from repro.graphs.random_families import random_ding_augmentation, random_tree
+from repro.graphs.util import closed_neighborhood, closed_neighborhood_of_set
 from repro.solvers.branch_and_bound import (
     bnb_minimum_b_dominating_set,
     bnb_minimum_dominating_set,
 )
 from repro.solvers.exact import minimum_b_dominating_set, minimum_dominating_set
+from repro.solvers.greedy import greedy_b_dominating_set
+
+
+# -- pre-bitset reference implementation (verbatim) ------------------------
+
+
+def legacy_bnb_minimum_b_dominating_set(graph, targets, candidates=None):
+    target_set = set(targets)
+    if not target_set:
+        return set()
+    if candidates is None:
+        candidate_set = closed_neighborhood_of_set(graph, target_set)
+    else:
+        candidate_set = set(candidates)
+
+    coverers = {}
+    covers = {c: closed_neighborhood(graph, c) & target_set for c in candidate_set}
+    for b in target_set:
+        options = sorted(
+            (c for c in closed_neighborhood(graph, b) if c in candidate_set), key=repr
+        )
+        if not options:
+            raise ValueError(f"target {b!r} cannot be dominated by any candidate")
+        coverers[b] = options
+
+    incumbent = greedy_b_dominating_set(graph, target_set, candidate_set)
+    best = [set(incumbent)]
+
+    def packing_bound(remaining):
+        bound = 0
+        blocked = set()
+        for b in sorted(remaining, key=lambda v: (len(coverers[v]), repr(v))):
+            if b in blocked:
+                continue
+            bound += 1
+            for c in coverers[b]:
+                blocked |= covers[c]
+        return bound
+
+    def search(chosen, remaining):
+        if not remaining:
+            if len(chosen) < len(best[0]):
+                best[0] = set(chosen)
+            return
+        if len(chosen) + packing_bound(remaining) >= len(best[0]):
+            return
+        pivot = min(remaining, key=lambda v: (len(coverers[v]), repr(v)))
+        for c in coverers[pivot]:
+            search(chosen | {c}, remaining - covers[c])
+
+    search(set(), set(target_set))
+    return best[0]
+
+
+def legacy_bnb_minimum_dominating_set(graph):
+    solution = set()
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        solution |= legacy_bnb_minimum_b_dominating_set(sub, component)
+    return solution
+
+
+def _tuple_labelled(graph):
+    return nx.relabel_nodes(graph, {v: (v, f"v{v}") for v in graph.nodes})
 
 
 class TestAgainstMilp:
@@ -35,6 +102,57 @@ class TestAgainstMilp:
             b = minimum_b_dominating_set(g, targets)
             assert len(a) == len(b)
             assert is_b_dominating_set(g, a, targets)
+
+
+class TestAgainstLegacy:
+    """Differential pinning: bitset B&B vs the verbatim pre-bitset search
+    vs MILP, across every graph class the batch runner ships."""
+
+    def _check(self, graph):
+        bitset = bnb_minimum_dominating_set(graph)
+        legacy = legacy_bnb_minimum_dominating_set(graph)
+        milp = minimum_dominating_set(graph)
+        assert len(bitset) == len(legacy) == len(milp)
+        assert is_dominating_set(graph, bitset) or not graph.number_of_nodes()
+
+    def test_random_graphs(self):
+        for seed in range(8):
+            n = 6 + 2 * seed
+            self._check(nx.gnm_random_graph(n, 2 * n, seed=seed))
+
+    def test_family_graphs(self):
+        for family in ("fan", "ladder", "tree", "outerplanar", "ding", "cactus"):
+            self._check(get_family(family).make(14, 0))
+
+    def test_tuple_labelled(self):
+        self._check(_tuple_labelled(gen.ladder(6)))
+        graph = _tuple_labelled(gen.fan(7))
+        targets = sorted(graph.nodes)[::2]
+        a = bnb_minimum_b_dominating_set(graph, targets)
+        b = legacy_bnb_minimum_b_dominating_set(graph, targets)
+        assert len(a) == len(b)
+        assert is_b_dominating_set(graph, a, targets)
+
+    def test_zero_node_graph(self):
+        assert bnb_minimum_dominating_set(nx.Graph()) == set()
+        assert legacy_bnb_minimum_dominating_set(nx.Graph()) == set()
+
+    def test_isolated_vertices(self):
+        graph = gen.path(5)
+        graph.add_nodes_from(["iso_a", "iso_b"])
+        self._check(graph)
+        # Each isolate must dominate itself.
+        assert {"iso_a", "iso_b"} <= bnb_minimum_dominating_set(graph)
+
+    def test_b_domination_on_restricted_candidates(self, small_zoo):
+        for g in small_zoo:
+            targets = sorted(g.nodes)[::2]
+            candidates = sorted(g.nodes)
+            if not targets:
+                continue
+            a = bnb_minimum_b_dominating_set(g, targets, candidates)
+            b = legacy_bnb_minimum_b_dominating_set(g, targets, candidates)
+            assert len(a) == len(b)
 
 
 class TestBehaviour:
