@@ -39,12 +39,9 @@ from repro.graphs.local_cuts import (
     local_one_cuts,
     local_two_cuts,
 )
+from repro.graphs.kernel import iter_bits, kernel_for
 from repro.graphs.twins import remove_true_twins
-from repro.graphs.util import (
-    closed_neighborhood,
-    closed_neighborhood_of_set,
-    weak_diameter,
-)
+from repro.graphs.util import closed_neighborhood, weak_diameter_mask
 from repro.local_model.gather import gather_views, rounds_for_radius
 from repro.local_model.views import View
 from repro.solvers.exact import minimum_b_dominating_set
@@ -64,19 +61,26 @@ class InsufficientViewError(RuntimeError):
 def _phase_sets(
     graph: nx.Graph, policy: RadiusPolicy
 ) -> tuple[set[Vertex], set[Vertex], set[Vertex], set[Vertex]]:
-    """Compute (X, I, U, B) of steps 2–4 on the twin-free graph."""
+    """Compute (X, I, U, B) of steps 2–4 on the twin-free graph.
+
+    Dominated/undominated/excluded statuses are pure bitset algebra on
+    the kernel: ``N[X ∪ I]`` is one OR chain, and U-membership of a
+    dominated non-taken vertex is ``N[v] ⊆ dominated``, a single
+    AND-NOT test per candidate.
+    """
+    kernel = kernel_for(graph)
     x_set = local_one_cuts(graph, policy.one_cut_radius)
     cuts = local_two_cuts(graph, policy.two_cut_radius, minimal=True)
     i_set = interesting_vertices_of_cuts(graph, cuts, policy.two_cut_radius)
-    taken = x_set | i_set
-    dominated = closed_neighborhood_of_set(graph, taken) if taken else set()
-    undominated = set(graph.nodes) - dominated
-    u_set = {
-        u
-        for u in dominated - taken
-        if closed_neighborhood(graph, u) <= dominated
-    }
-    return x_set, i_set, u_set, undominated
+    taken_mask = kernel.bits_of(x_set) | kernel.bits_of(i_set)
+    dominated_mask = kernel.closed_neighborhood_bits(taken_mask)
+    undominated = kernel.labels_of(kernel.full_mask & ~dominated_mask)
+    closed = kernel.closed_bits
+    u_mask = 0
+    for i in iter_bits(dominated_mask & ~taken_mask):
+        if not closed[i] & ~dominated_mask:
+            u_mask |= 1 << i
+    return x_set, i_set, kernel.labels_of(u_mask), undominated
 
 
 def _residual_components(
@@ -87,24 +91,33 @@ def _residual_components(
     undominated: set[Vertex],
 ) -> list[tuple[set[Vertex], set[Vertex]]]:
     """Components of ``G − (X ∪ I ∪ U)`` that still contain undominated
-    vertices, as ``(component, undominated ∩ component)`` pairs."""
-    residual_nodes = set(graph.nodes) - x_set - i_set - u_set
+    vertices, as ``(component, undominated ∩ component)`` pairs.
+
+    Components are bitset flood fills; the kernel yields them lowest
+    index first, which *is* the repr-order of each component's least
+    vertex — the deterministic order the brute-force step relies on.
+    """
+    kernel = kernel_for(graph)
+    residual = kernel.full_mask & ~(
+        kernel.bits_of(x_set) | kernel.bits_of(i_set) | kernel.bits_of(u_set)
+    )
+    undominated_mask = kernel.bits_of(undominated)
     components = []
-    for component in nx.connected_components(graph.subgraph(residual_nodes)):
-        targets = undominated & set(component)
+    for component in kernel.components_of_mask(residual):
+        targets = undominated_mask & component
         if targets:
-            components.append((set(component), targets))
-    components.sort(key=lambda pair: repr(min(pair[0], key=repr)))
+            components.append((kernel.labels_of(component), kernel.labels_of(targets)))
     return components
 
 
 def _component_span(graph: nx.Graph, components: list[tuple[set[Vertex], set[Vertex]]]) -> int:
     """Max weak diameter over ``C ∪ N[B_C]`` — the knowledge footprint of
     the brute-force step (Lemma 4.2 bounds this on K_{2,t}-free graphs)."""
+    kernel = kernel_for(graph)
     span = 0
     for component, targets in components:
-        zone = component | closed_neighborhood_of_set(graph, targets)
-        span = max(span, weak_diameter(graph, zone))
+        zone = kernel.bits_of(component) | kernel.union_closed_bits(targets)
+        span = max(span, weak_diameter_mask(kernel, zone))
     return span
 
 

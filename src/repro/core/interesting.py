@@ -11,6 +11,12 @@ For *global* (not radius-bounded) 2-cuts, the paper says ``v`` is
 a vertex with only the second property is *almost-interesting*.  These
 global notions drive the charging argument of Lemma 3.3; the algorithm
 itself uses the local variants in :mod:`repro.graphs.local_cuts`.
+
+All predicates run on kernel bitsets: the components of ``G − c`` are
+masked flood fills, computed **once per cut** and shared between the two
+orientations ``(u, v)`` and ``(v, u)`` (historically each orientation
+re-derived them), and :func:`~repro.graphs.cuts.minimal_two_cuts` is
+memoized per kernel so the enumeration itself is paid once per graph.
 """
 
 from __future__ import annotations
@@ -19,22 +25,32 @@ from typing import Hashable
 
 import networkx as nx
 
-from repro.graphs.cuts import components_after_removal, minimal_two_cuts
-from repro.graphs.util import closed_neighborhood
+from repro.graphs.cuts import minimal_two_cuts, removal_component_masks
+from repro.graphs.kernel import GraphKernel, kernel_for
 
 Vertex = Hashable
 
 
-def _second_condition(graph: nx.Graph, u: Vertex, cut: frozenset[Vertex]) -> bool:
+def _second_condition_masks(
+    kernel: GraphKernel, u: int, component_masks: list[int]
+) -> bool:
     """≥ 2 components of ``G − c`` each holding a vertex non-adjacent to u."""
-    n_u = closed_neighborhood(graph, u)
+    n_u = kernel.closed_bits[u]
     witnesses = 0
-    for component in components_after_removal(graph, cut):
-        if any(w not in n_u for w in component):
+    for component in component_masks:
+        if component & ~n_u:
             witnesses += 1
             if witnesses >= 2:
                 return True
     return False
+
+
+def _second_condition(graph: nx.Graph, u: Vertex, cut: frozenset[Vertex]) -> bool:
+    """≥ 2 components of ``G − c`` each holding a vertex non-adjacent to u."""
+    kernel = kernel_for(graph)
+    return _second_condition_masks(
+        kernel, kernel.index_of[u], removal_component_masks(graph, cut)
+    )
 
 
 def is_globally_interesting(graph: nx.Graph, v: Vertex, cut: frozenset[Vertex]) -> bool:
@@ -42,39 +58,70 @@ def is_globally_interesting(graph: nx.Graph, v: Vertex, cut: frozenset[Vertex]) 
     if v not in cut or len(cut) != 2:
         return False
     (u,) = cut - {v}
-    if closed_neighborhood(graph, v) <= closed_neighborhood(graph, u):
+    kernel = kernel_for(graph)
+    closed = kernel.closed_bits
+    i_u, i_v = kernel.index_of[u], kernel.index_of[v]
+    if not closed[i_v] & ~closed[i_u]:  # N[v] ⊆ N[u]
         return False
-    return _second_condition(graph, u, cut)
+    return _second_condition_masks(kernel, i_u, removal_component_masks(graph, cut))
+
+
+def _interesting_orientations(
+    graph: nx.Graph, kernel: GraphKernel, cut: frozenset[Vertex]
+) -> list[Vertex]:
+    """The vertices of ``cut`` that are interesting via it.
+
+    The components of ``G − cut`` are computed lazily and at most once,
+    shared across both orientations.
+    """
+    closed = kernel.closed_bits
+    index_of = kernel.index_of
+    a, b = cut
+    i_a, i_b = index_of[a], index_of[b]
+    holders: list[Vertex] = []
+    components: list[int] | None = None
+    for v, i_v, i_u in ((a, i_a, i_b), (b, i_b, i_a)):
+        if not closed[i_v] & ~closed[i_u]:  # first condition fails
+            continue
+        if components is None:
+            components = removal_component_masks(graph, cut)
+        if _second_condition_masks(kernel, i_u, components):
+            holders.append(v)
+    return holders
 
 
 def globally_interesting_vertices(graph: nx.Graph) -> set[Vertex]:
     """All vertices interesting via some global minimal 2-cut."""
+    kernel = kernel_for(graph)
     result: set[Vertex] = set()
     for cut in minimal_two_cuts(graph):
-        for v in cut:
-            if v not in result and is_globally_interesting(graph, v, cut):
-                result.add(v)
+        result.update(_interesting_orientations(graph, kernel, cut))
     return result
 
 
 def interesting_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
     """Minimal 2-cuts ``{u, v}`` where ``v`` is interesting and a friend of
     ``u`` (i.e. at least one vertex of the cut is interesting via it)."""
+    kernel = kernel_for(graph)
     return [
         cut
         for cut in minimal_two_cuts(graph)
-        if any(is_globally_interesting(graph, v, cut) for v in cut)
+        if _interesting_orientations(graph, kernel, cut)
     ]
 
 
 def almost_interesting_vertices(graph: nx.Graph) -> set[Vertex]:
     """Vertices satisfying only the component condition (Section 5.3)."""
+    kernel = kernel_for(graph)
+    index_of = kernel.index_of
     result: set[Vertex] = set()
     for cut in minimal_two_cuts(graph):
-        for v in cut:
-            (u,) = cut - {v}
-            if _second_condition(graph, u, cut):
-                result.add(v)
+        components = removal_component_masks(graph, cut)
+        a, b = cut
+        if _second_condition_masks(kernel, index_of[b], components):
+            result.add(a)
+        if _second_condition_masks(kernel, index_of[a], components):
+            result.add(b)
     return result
 
 
@@ -90,10 +137,10 @@ def covering_noncrossing_families(graph: nx.Graph) -> list[list[frozenset[Vertex
     from repro.graphs.cuts import crossing_two_cuts
     from repro.graphs.spqr import noncrossing_families
 
-    cuts = minimal_two_cuts(graph)
+    kernel = kernel_for(graph)
     certified: dict[frozenset[Vertex], set[Vertex]] = {}
-    for cut in cuts:
-        holders = {v for v in cut if is_globally_interesting(graph, v, cut)}
+    for cut in minimal_two_cuts(graph):
+        holders = set(_interesting_orientations(graph, kernel, cut))
         if holders:
             certified[cut] = holders
 

@@ -10,20 +10,50 @@ Definitions (Section 2 of the paper):
 
 These operate on the whole graph; their local (radius-bounded) analogues
 live in :mod:`repro.graphs.local_cuts`.
+
+Everything here runs on the graph's :class:`~repro.graphs.kernel.GraphKernel`:
+vertex sets are int bitsets and "components of ``G − C``" is a masked
+flood-fill fixpoint, never an ``nx.Graph.subgraph`` plus a networkx
+traversal.  :func:`minimal_two_cuts` is additionally memoized per kernel
+(the Section 5.3 consumers — interesting cuts, friends, strip detection —
+all re-enumerate it), with the cache registered as a kernel derived
+cache so :func:`~repro.graphs.kernel.invalidate_kernel` clears it.
 """
 
 from __future__ import annotations
 
+import weakref
 from itertools import combinations
 from typing import Hashable, Iterable
 
 import networkx as nx
 
+from repro.graphs.kernel import (
+    GraphKernel,
+    iter_bits,
+    kernel_for,
+    register_derived_cache,
+)
+
 Vertex = Hashable
 
+# minimal_two_cuts memo: graph -> {"kernel": GraphKernel, "cuts": [...]}.
+# Entries are dropped when the graph's kernel object changes (node-count
+# rebuild or explicit invalidate_kernel, which also clears this directly).
+_TWO_CUT_CACHE: "weakref.WeakKeyDictionary[nx.Graph, dict]" = weakref.WeakKeyDictionary()
+register_derived_cache(_TWO_CUT_CACHE)
 
-def _component_count(graph: nx.Graph) -> int:
-    return nx.number_connected_components(graph)
+
+def _cut_mask(kernel: GraphKernel, cut: Iterable[Vertex]) -> int:
+    """Bitset of the cut's vertices; labels absent from the graph are
+    ignored (removing a vertex that is not there removes nothing)."""
+    index_of = kernel.index_of
+    mask = 0
+    for v in cut:
+        i = index_of.get(v)
+        if i is not None:
+            mask |= 1 << i
+    return mask
 
 
 def is_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
@@ -33,11 +63,14 @@ def is_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
     disconnect), matching the standard convention.
     """
     cut_set = set(cut)
-    if not cut_set or not set(graph.nodes) - cut_set:
+    if not cut_set:
         return False
-    before = _component_count(graph)
-    after = _component_count(graph.subgraph(set(graph.nodes) - cut_set))
-    return after > before
+    kernel = kernel_for(graph)
+    rest = kernel.full_mask & ~_cut_mask(kernel, cut_set)
+    if not rest:
+        return False
+    before = kernel.count_components_of_mask(kernel.full_mask)
+    return kernel.count_components_of_mask(rest) > before
 
 
 def is_minimal_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
@@ -45,9 +78,22 @@ def is_minimal_cut(graph: nx.Graph, cut: Iterable[Vertex]) -> bool:
     cut_set = set(cut)
     if not is_cut(graph, cut_set):
         return False
-    for size in range(1, len(cut_set)):
-        for subset in combinations(sorted(cut_set, key=repr), size):
-            if is_cut(graph, subset):
+    kernel = kernel_for(graph)
+    mask = _cut_mask(kernel, cut_set)
+    if mask.bit_count() < len(cut_set):
+        # Labels outside the graph pad the set: the present vertices
+        # alone form a proper subset that is equally a cut.
+        return False
+    full = kernel.full_mask
+    before = kernel.count_components_of_mask(full)
+    indices = list(iter_bits(mask))
+    for size in range(1, len(indices)):
+        for subset in combinations(indices, size):
+            sub_mask = 0
+            for i in subset:
+                sub_mask |= 1 << i
+            rest = full & ~sub_mask
+            if rest and kernel.count_components_of_mask(rest) > before:
                 return False
     return True
 
@@ -63,18 +109,32 @@ def cut_vertices(graph: nx.Graph) -> set[Vertex]:
 
 def cut_vertices_by_definition(graph: nx.Graph) -> set[Vertex]:
     """Quadratic definition-based 1-cut enumeration (used to cross-check)."""
-    return {v for v in graph.nodes if is_cut(graph, {v})}
+    kernel = kernel_for(graph)
+    full = kernel.full_mask
+    before = kernel.count_components_of_mask(full)
+    result: set[Vertex] = set()
+    for i, label in enumerate(kernel.labels):
+        rest = full & ~(1 << i)
+        if rest and kernel.count_components_of_mask(rest) > before:
+            result.add(label)
+    return result
 
 
 def two_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
-    """Enumerate all (not necessarily minimal) 2-cuts of ``graph``."""
-    nodes = sorted(graph.nodes, key=repr)
+    """Enumerate all (not necessarily minimal) 2-cuts of ``graph``.
+
+    Pairs scan in kernel-index order (= sorted repr order), matching the
+    historical sorted-pair enumeration order.
+    """
+    kernel = kernel_for(graph)
+    labels = kernel.labels
+    full = kernel.full_mask
+    base = kernel.count_components_of_mask(full)
     result = []
-    base = _component_count(graph)
-    for u, v in combinations(nodes, 2):
-        rest = set(graph.nodes) - {u, v}
-        if rest and _component_count(graph.subgraph(rest)) > base:
-            result.append(frozenset({u, v}))
+    for u, v in combinations(range(kernel.n), 2):
+        rest = full & ~((1 << u) | (1 << v))
+        if rest and kernel.count_components_of_mask(rest) > base:
+            result.append(frozenset({labels[u], labels[v]}))
     return result
 
 
@@ -82,16 +142,81 @@ def minimal_two_cuts(graph: nx.Graph) -> list[frozenset[Vertex]]:
     """Enumerate all *minimal* 2-cuts ``{u, v}`` of ``graph``.
 
     ``{u, v}`` is minimal when it is a cut but neither ``{u}`` nor ``{v}``
-    alone is one.
+    alone is one.  The enumeration is memoized per kernel: the Section
+    5.3 machinery (interesting cuts, friends, almost-interesting
+    vertices, strips) calls this repeatedly on the same graph.
     """
-    ones = cut_vertices(graph)
-    return [cut for cut in two_cuts(graph) if not (cut & ones)]
+    kernel = kernel_for(graph)
+    entry = None
+    try:
+        entry = _TWO_CUT_CACHE.get(graph)
+    except TypeError:  # graph type that cannot be weak-referenced
+        pass
+    if entry is not None and entry["kernel"] is kernel:
+        return list(entry["cuts"])
+    cuts = _minimal_two_cuts_uncached(kernel)
+    try:
+        _TWO_CUT_CACHE[graph] = {"kernel": kernel, "cuts": cuts}
+    except TypeError:
+        pass
+    return list(cuts)
+
+
+def _minimal_two_cuts_uncached(kernel: GraphKernel) -> list[frozenset[Vertex]]:
+    labels = kernel.labels
+    full = kernel.full_mask
+    base = kernel.count_components_of_mask(full)
+    ones = 0
+    for i in range(kernel.n):
+        rest = full & ~(1 << i)
+        if rest and kernel.count_components_of_mask(rest) > base:
+            ones |= 1 << i
+    result = []
+    for u in range(kernel.n):
+        if ones >> u & 1:
+            continue
+        # A minimal 2-cut's vertices share a component: a cross-component
+        # pair only increases the count when one member already cuts alone.
+        component = kernel.component_bits(1 << u, full)
+        for v in iter_bits(component >> (u + 1)):
+            v += u + 1
+            if ones >> v & 1:
+                continue
+            rest = full & ~((1 << u) | (1 << v))
+            if rest and kernel.count_components_of_mask(rest) > base:
+                result.append(frozenset({labels[u], labels[v]}))
+    return result
+
+
+def removal_component_masks(graph: nx.Graph, cut: Iterable[Vertex]) -> list[int]:
+    """Component bitsets of ``G − cut``, lowest kernel index first.
+
+    The mask-level twin of :func:`components_after_removal`, shared with
+    :mod:`repro.core.interesting` so one enumeration can serve both
+    orientations of a cut.
+    """
+    kernel = kernel_for(graph)
+    return list(kernel.components_of_mask(kernel.full_mask & ~_cut_mask(kernel, cut)))
+
+
+def _sorted_label_components(
+    graph: nx.Graph, kernel: GraphKernel, masks: Iterable[int]
+) -> list[set[Vertex]]:
+    """Decode component masks to label sets in the historical order —
+    the one ``nx.connected_components`` produced: by each component's
+    earliest vertex in graph insertion order."""
+    components = [kernel.labels_of(mask) for mask in masks]
+    if len(components) > 1:
+        position = {v: i for i, v in enumerate(graph.nodes)}
+        components.sort(key=lambda comp: min(position[w] for w in comp))
+    return components
 
 
 def components_after_removal(graph: nx.Graph, cut: Iterable[Vertex]) -> list[set[Vertex]]:
-    """Connected components of ``G − cut``."""
-    rest = set(graph.nodes) - set(cut)
-    return [set(c) for c in nx.connected_components(graph.subgraph(rest))]
+    """Connected components of ``G − cut``, in the historical order."""
+    return _sorted_label_components(
+        graph, kernel_for(graph), removal_component_masks(graph, cut)
+    )
 
 
 def crossing_two_cuts(graph: nx.Graph, c1: Iterable[Vertex], c2: Iterable[Vertex]) -> bool:
@@ -104,18 +229,26 @@ def crossing_two_cuts(graph: nx.Graph, c1: Iterable[Vertex], c2: Iterable[Vertex
     c1_set, c2_set = set(c1), set(c2)
     if len(c1_set) != 2 or len(c2_set) != 2 or c1_set & c2_set:
         return False
+    kernel = kernel_for(graph)
+    mask1 = _cut_mask(kernel, c1_set)
+    mask2 = _cut_mask(kernel, c2_set)
 
-    def separated(cut: set[Vertex], pair: set[Vertex]) -> bool:
-        comps = components_after_removal(graph, cut)
-        homes = []
-        for v in pair:
-            home = next((i for i, comp in enumerate(comps) if v in comp), None)
-            if home is None:  # v is inside the cut: not separated
-                return False
-            homes.append(home)
-        return homes[0] != homes[1]
+    def separated(cut_mask: int, pair_mask: int) -> bool:
+        low = pair_mask & -pair_mask
+        high = pair_mask & ~low
+        low_home = high_home = None
+        for k, comp in enumerate(
+            kernel.components_of_mask(kernel.full_mask & ~cut_mask)
+        ):
+            if comp & low:
+                low_home = k
+            if comp & high:
+                high_home = k
+        if low_home is None or high_home is None:  # inside the cut
+            return False
+        return low_home != high_home
 
-    return separated(c2_set, c1_set) and separated(c1_set, c2_set)
+    return separated(mask2, mask1) and separated(mask1, mask2)
 
 
 def attached_components(graph: nx.Graph, cut: Iterable[Vertex]) -> list[set[Vertex]]:
@@ -125,7 +258,13 @@ def attached_components(graph: nx.Graph, cut: Iterable[Vertex]) -> list[set[Vert
     non-minimal candidate sets this filters out irrelevant components.
     """
     cut_set = set(cut)
-    boundary = set()
+    kernel = kernel_for(graph)
+    closed = kernel.closed_bits
+    index_of = kernel.index_of
+    boundary = 0
     for v in cut_set:
-        boundary.update(graph.neighbors(v))
-    return [comp for comp in components_after_removal(graph, cut_set) if comp & boundary]
+        boundary |= closed[index_of[v]]
+    masks = [
+        mask for mask in removal_component_masks(graph, cut_set) if mask & boundary
+    ]
+    return _sorted_label_components(graph, kernel, masks)

@@ -365,6 +365,58 @@ class GraphKernel:
             return self.labels_of(seen)
         return {labels[i] for i in seen}
 
+    # -- masked connectivity (flood fills) ----------------------------------
+
+    def component_bits(self, seed: int, within: int) -> int:
+        """Connected component of ``G[within]`` containing ``seed``.
+
+        ``seed`` and ``within`` are bitsets; the result is the fixpoint of
+        OR-ing closed-neighborhood rows, masked by ``within`` — no
+        subgraph object is ever materialized.  ``seed`` bits outside
+        ``within`` are ignored.
+        """
+        closed = self.closed_bits
+        component = seed & within
+        frontier = component
+        while frontier:
+            reach = 0
+            for i in iter_bits(frontier):
+                reach |= closed[i]
+            frontier = reach & within & ~component
+            component |= frontier
+        return component
+
+    def components_of_mask(self, mask: int) -> Iterator[int]:
+        """Yield the connected components of ``G[mask]`` as bitsets.
+
+        Components come out ordered by their lowest kernel index — i.e.
+        by the repr-least vertex they contain, which is the deterministic
+        order the rest of the library sorts components into.
+        """
+        remaining = mask
+        while remaining:
+            component = self.component_bits(remaining & -remaining, mask)
+            yield component
+            remaining &= ~component
+
+    def count_components_of_mask(self, mask: int) -> int:
+        """Number of connected components of ``G[mask]``."""
+        count = 0
+        remaining = mask
+        while remaining:
+            remaining &= ~self.component_bits(remaining & -remaining, mask)
+            count += 1
+        return count
+
+    def is_mask_connected(self, mask: int) -> bool:
+        """Whether ``G[mask]`` is connected (one flood fill, early bound).
+
+        The empty mask counts as connected (zero components).
+        """
+        if not mask:
+            return True
+        return self.component_bits(mask & -mask, mask) == mask
+
     # -- engine routing ------------------------------------------------------
 
     def back_ports(self) -> array:

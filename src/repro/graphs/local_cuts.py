@@ -18,18 +18,84 @@ A vertex ``v`` is *r-interesting* (``r ≥ 2``) when there is an r-local
 
 These predicates are all decidable from radius-``r + 1`` views, which is
 what makes the paper's Algorithm 1 a LOCAL algorithm.
+
+Implementation
+--------------
+
+Arenas are **int bitsets** on the graph's
+:class:`~repro.graphs.kernel.GraphKernel`: ``H`` is ``ball_u | ball_v``,
+a cut test is a masked flood fill on the arena mask, and no
+``nx.Graph.subgraph`` object is ever materialized.  Each vertex's
+radius-``r`` ball mask is computed **once per (kernel, r)** and reused
+across every pair the vertex participates in (the ball-mask arena
+cache), so enumerating all r-local 2-cuts costs one ball BFS per vertex
+plus one or two flood fills per candidate pair — instead of the
+historical O(n·|ball|) fresh-subgraph + networkx-connectivity calls.
+The cache is registered as a kernel derived cache:
+``invalidate_kernel(graph)`` clears it, and a kernel rebuild (node-count
+change) orphans it automatically.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Hashable
 
 import networkx as nx
 
-from repro.graphs.cuts import is_cut, is_minimal_cut
-from repro.graphs.util import ball, ball_of_set, closed_neighborhood
+from repro.graphs.kernel import (
+    GraphKernel,
+    iter_bits,
+    kernel_for,
+    register_derived_cache,
+)
+from repro.graphs.util import ball_of_set
 
 Vertex = Hashable
+
+# Ball-mask arena cache: graph -> {"kernel": GraphKernel, radius: [mask|None]*n}.
+# Masks fill lazily per vertex; the whole entry is dropped when the
+# graph's kernel object changes or invalidate_kernel is called.
+_BALL_CACHE: "weakref.WeakKeyDictionary[nx.Graph, dict]" = weakref.WeakKeyDictionary()
+register_derived_cache(_BALL_CACHE)
+
+
+def _ball_masks(graph: nx.Graph, kernel: GraphKernel, radius: int) -> list:
+    """The (lazily filled) per-vertex radius-``radius`` ball-mask table."""
+    try:
+        entry = _BALL_CACHE.get(graph)
+    except TypeError:  # graph type that cannot be weak-referenced
+        return [None] * kernel.n
+    if entry is None or entry["kernel"] is not kernel:
+        entry = {"kernel": kernel}
+        try:
+            _BALL_CACHE[graph] = entry
+        except TypeError:
+            return [None] * kernel.n
+    table = entry.get(radius)
+    if table is None:
+        table = entry[radius] = [None] * kernel.n
+    return table
+
+
+def _ball_mask(kernel: GraphKernel, table: list, i: int, radius: int) -> int:
+    mask = table[i]
+    if mask is None:
+        mask = table[i] = kernel.ball_bits(kernel.labels[i], radius)
+    return mask
+
+
+def _splits_arena(kernel: GraphKernel, arena: int, cut_mask: int) -> bool:
+    """Whether removing ``cut_mask`` disconnects the arena.
+
+    Arenas are balls or unions of overlapping balls, hence connected, so
+    "is a cut of ``H``" reduces to: the rest is non-empty and not one
+    component (a single flood fill).
+    """
+    rest = arena & ~cut_mask
+    if not rest:
+        return False
+    return not kernel.is_mask_connected(rest)
 
 
 def local_cut_subgraph(graph: nx.Graph, cut: set[Vertex], r: int) -> nx.Graph:
@@ -39,13 +105,36 @@ def local_cut_subgraph(graph: nx.Graph, cut: set[Vertex], r: int) -> nx.Graph:
 
 def is_local_one_cut(graph: nx.Graph, v: Vertex, r: int) -> bool:
     """Return whether ``{v}`` is an r-local (minimal) 1-cut of ``graph``."""
-    arena = local_cut_subgraph(graph, {v}, r)
-    return is_cut(arena, {v})
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    i = kernel.index_of[v]
+    return _splits_arena(kernel, _ball_mask(kernel, table, i, r), 1 << i)
 
 
 def local_one_cuts(graph: nx.Graph, r: int) -> set[Vertex]:
     """Return all vertices that form r-local minimal 1-cuts of ``graph``."""
-    return {v for v in graph.nodes if is_local_one_cut(graph, v, r)}
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    return {
+        label
+        for i, label in enumerate(kernel.labels)
+        if _splits_arena(kernel, _ball_mask(kernel, table, i, r), 1 << i)
+    }
+
+
+def _is_local_two_cut_idx(
+    kernel: GraphKernel, table: list, u: int, v: int, r: int, minimal: bool
+) -> bool:
+    """Index-level two-cut test; assumes ``u != v`` and ``v`` in ``ball(u)``."""
+    arena = _ball_mask(kernel, table, u, r) | _ball_mask(kernel, table, v, r)
+    u_bit, v_bit = 1 << u, 1 << v
+    if not _splits_arena(kernel, arena, u_bit | v_bit):
+        return False
+    if not minimal:
+        return True
+    return not _splits_arena(kernel, arena, u_bit) and not _splits_arena(
+        kernel, arena, v_bit
+    )
 
 
 def is_local_two_cut(graph: nx.Graph, u: Vertex, v: Vertex, r: int, *, minimal: bool = True) -> bool:
@@ -57,34 +146,33 @@ def is_local_two_cut(graph: nx.Graph, u: Vertex, v: Vertex, r: int, *, minimal: 
     """
     if u == v:
         return False
-    if v not in ball(graph, u, r):
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    i, j = kernel.index_of[u], kernel.index_of[v]
+    if not _ball_mask(kernel, table, i, r) >> j & 1:
         return False
-    cut = {u, v}
-    arena = local_cut_subgraph(graph, cut, r)
-    if minimal:
-        return is_minimal_cut(arena, cut)
-    return is_cut(arena, cut)
+    return _is_local_two_cut_idx(kernel, table, i, j, r, minimal)
 
 
 def local_two_cuts(graph: nx.Graph, r: int, *, minimal: bool = True) -> list[frozenset[Vertex]]:
     """Enumerate all r-local (minimal) 2-cuts of ``graph``.
 
-    Pairs are drawn from ``{(u, v) : v ∈ N^r[u]}``; each is tested in its
-    own arena.  Runtime is O(n · |ball|) cut tests, adequate for the
-    simulator scales used in experiments.
+    One kernel-index-ordered scan: candidate partners of ``u`` are read
+    straight off ``u``'s ball mask and only pairs with ``u_idx < v_idx``
+    are tested, so every pair is visited exactly once — no ``seen`` set,
+    no per-vertex re-sorting.  Kernel index order is sorted-repr order,
+    so the output order matches the historical enumeration.
     """
-    seen: set[frozenset[Vertex]] = set()
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    labels = kernel.labels
     result: list[frozenset[Vertex]] = []
-    for u in sorted(graph.nodes, key=repr):
-        for v in sorted(ball(graph, u, r), key=repr):
-            if v == u:
-                continue
-            pair = frozenset({u, v})
-            if pair in seen:
-                continue
-            seen.add(pair)
-            if is_local_two_cut(graph, u, v, r, minimal=minimal):
-                result.append(pair)
+    for u in range(kernel.n):
+        ball_u = _ball_mask(kernel, table, u, r)
+        for dv in iter_bits(ball_u >> (u + 1)):
+            v = u + 1 + dv
+            if _is_local_two_cut_idx(kernel, table, u, v, r, minimal):
+                result.append(frozenset({labels[u], labels[v]}))
     return result
 
 
@@ -97,24 +185,35 @@ def is_locally_k_connected(graph: nx.Graph, r: int, k: int) -> bool:
     raise ValueError("local connectivity implemented for k in {1, 2} only")
 
 
+def _certifies_interesting_idx(
+    kernel: GraphKernel, table: list, u: int, v: int, r: int
+) -> bool:
+    """Index-level interesting-ness check for the ordered pair ``(u, v)``."""
+    closed = kernel.closed_bits
+    n_u = closed[u]
+    if not closed[v] & ~n_u:  # first condition: N[v] ⊄ N[u]
+        return False
+    arena = _ball_mask(kernel, table, u, r) | _ball_mask(kernel, table, v, r)
+    rest = arena & ~((1 << u) | (1 << v))
+    witnesses = 0
+    for comp in kernel.components_of_mask(rest):
+        if comp & ~n_u:
+            witnesses += 1
+            if witnesses >= 2:
+                return True
+    return False
+
+
 def _certifies_interesting(graph: nx.Graph, u: Vertex, v: Vertex, r: int) -> bool:
     """Check the two interesting-ness conditions for the ordered pair.
 
     ``v`` is the candidate interesting vertex; ``u`` is its cut partner.
     """
-    n_u = closed_neighborhood(graph, u)
-    n_v = closed_neighborhood(graph, v)
-    if n_v <= n_u:  # first condition: N[v] ⊄ N[u]
-        return False
-    arena = local_cut_subgraph(graph, {u, v}, r)
-    rest = set(arena.nodes) - {u, v}
-    witnesses = 0
-    for comp in nx.connected_components(arena.subgraph(rest)):
-        if any(w not in n_u for w in comp):
-            witnesses += 1
-            if witnesses >= 2:
-                return True
-    return False
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    return _certifies_interesting_idx(
+        kernel, table, kernel.index_of[u], kernel.index_of[v], r
+    )
 
 
 def is_interesting_vertex(graph: nx.Graph, v: Vertex, r: int) -> bool:
@@ -123,12 +222,13 @@ def is_interesting_vertex(graph: nx.Graph, v: Vertex, r: int) -> bool:
     Scans all partners ``u ∈ N^r[v]`` for a certifying minimal r-local
     2-cut ``{u, v}``.
     """
-    for u in sorted(ball(graph, v, r), key=repr):
-        if u == v:
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    j = kernel.index_of[v]
+    for i in iter_bits(_ball_mask(kernel, table, j, r) & ~(1 << j)):
+        if not _is_local_two_cut_idx(kernel, table, i, j, r, True):
             continue
-        if not is_local_two_cut(graph, u, v, r, minimal=True):
-            continue
-        if _certifies_interesting(graph, u, v, r):
+        if _certifies_interesting_idx(kernel, table, i, j, r):
             return True
     return False
 
@@ -146,11 +246,18 @@ def interesting_vertices_of_cuts(
     Faster than :func:`interesting_vertices` when the local 2-cuts are
     already known (the algorithm computes them anyway).
     """
-    result: set[Vertex] = set()
+    kernel = kernel_for(graph)
+    table = _ball_masks(graph, kernel, r)
+    index_of = kernel.index_of
+    result_bits = 0
     for cut in cuts:
-        u, v = sorted(cut, key=repr)
-        if v not in result and _certifies_interesting(graph, u, v, r):
-            result.add(v)
-        if u not in result and _certifies_interesting(graph, v, u, r):
-            result.add(u)
-    return result
+        a, b = sorted(index_of[w] for w in cut)
+        if not result_bits >> b & 1 and _certifies_interesting_idx(
+            kernel, table, a, b, r
+        ):
+            result_bits |= 1 << b
+        if not result_bits >> a & 1 and _certifies_interesting_idx(
+            kernel, table, b, a, r
+        ):
+            result_bits |= 1 << a
+    return kernel.labels_of(result_bits)

@@ -11,6 +11,12 @@ lowest-identifier twin survives).
 We mirror that determinism: the representative of each class is the
 minimum vertex under sorted-repr order, so distributed and centralized
 computations agree.
+
+Detection groups vertices by their precomputed closed-neighborhood
+*bitsets* (one dict insert per vertex, keyed by a Python int) instead of
+hashing a ``frozenset`` per vertex, and the iterated removal runs as a
+pure bitset fixpoint on a shrinking survivor mask — the reduced graph is
+materialized once at the end, not mutated per round.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import Hashable
 
 import networkx as nx
 
-from repro.graphs.util import closed_neighborhood
+from repro.graphs.kernel import iter_bits, kernel_for
 
 Vertex = Hashable
 
@@ -28,20 +34,27 @@ def true_twin_classes(graph: nx.Graph) -> list[set[Vertex]]:
     """Group the vertices of ``graph`` into true-twin equivalence classes.
 
     Vertices with a unique closed neighborhood form singleton classes.
-    The result is deterministic: classes are sorted by their representative.
+    The result is deterministic: classes are sorted by their representative
+    (dict insertion order already walks kernel indices ascending, and the
+    kernel index of a class's first member *is* its repr-least vertex).
     """
-    buckets: dict[frozenset[Vertex], set[Vertex]] = {}
-    for v in graph.nodes:
-        key = frozenset(closed_neighborhood(graph, v))
-        buckets.setdefault(key, set()).add(v)
-    classes = list(buckets.values())
-    classes.sort(key=lambda cls: repr(min(cls, key=repr)))
-    return classes
+    kernel = kernel_for(graph)
+    labels = kernel.labels
+    buckets: dict[int, list[int]] = {}
+    for i, bits in enumerate(kernel.closed_bits):
+        buckets.setdefault(bits, []).append(i)
+    return [{labels[i] for i in members} for members in buckets.values()]
 
 
 def has_true_twins(graph: nx.Graph) -> bool:
     """Return whether ``graph`` contains at least one true-twin pair."""
-    return any(len(cls) > 1 for cls in true_twin_classes(graph))
+    kernel = kernel_for(graph)
+    seen: set[int] = set()
+    for bits in kernel.closed_bits:
+        if bits in seen:
+            return True
+        seen.add(bits)
+    return False
 
 
 def twin_representative(cls: set[Vertex]) -> Vertex:
@@ -61,26 +74,37 @@ def remove_true_twins(graph: nx.Graph) -> tuple[nx.Graph, dict[Vertex, Vertex]]:
     because a removed twin has the same closed neighborhood as its
     representative.
     """
+    kernel = kernel_for(graph)
+    labels = kernel.labels
+    closed = kernel.closed_bits
     mapping = {v: v for v in graph.nodes}
-    current = graph.copy()
+    survivors = kernel.full_mask
     while True:
-        classes = true_twin_classes(current)
-        removable = [cls for cls in classes if len(cls) > 1]
-        if not removable:
+        # One pass = group the current survivors by their closed
+        # neighborhood *within the survivor-induced subgraph* and drop
+        # every non-representative, all against the same snapshot
+        # (matching the historical per-round class computation).
+        buckets: dict[int, int] = {}
+        removed = 0
+        for i in iter_bits(survivors):
+            key = closed[i] & survivors
+            rep = buckets.get(key)
+            if rep is None:
+                buckets[key] = i  # ascending scan: first member is min-repr
+            else:
+                removed |= 1 << i
+                mapping[labels[i]] = labels[rep]
+        if not removed:
             break
-        for cls in removable:
-            rep = twin_representative(cls)
-            for v in cls:
-                if v != rep:
-                    current.remove_node(v)
-                    mapping[v] = rep
+        survivors &= ~removed
     # Path-compress: map original vertices through chains of removals.
     for v in list(mapping):
         rep = mapping[v]
         while mapping[rep] != rep:
             rep = mapping[rep]
         mapping[v] = rep
-    return current, mapping
+    reduced = graph.subgraph({labels[i] for i in iter_bits(survivors)}).copy()
+    return reduced, mapping
 
 
 def lift_dominating_set(dominating_set: set[Vertex], graph: nx.Graph) -> set[Vertex]:

@@ -20,7 +20,7 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
-from repro.graphs.kernel import kernel_for
+from repro.graphs.kernel import GraphKernel, iter_bits, kernel_for
 
 Vertex = Hashable
 
@@ -87,25 +87,61 @@ def distances_from(graph: nx.Graph, source: Vertex, cutoff: int | None = None) -
     return dist
 
 
+def weak_diameter_mask(kernel: GraphKernel, mask: int) -> int:
+    """Weak diameter of the vertex bitset ``mask`` (mask-level core).
+
+    From each source bit, frontiers expand by OR-ing closed-neighborhood
+    rows until every target bit is seen; the expansion count when the
+    last target lands is the source's eccentricity within the set.
+    Raises ``ValueError`` on a pair separated across components.
+    """
+    if mask.bit_count() <= 1:
+        return 0
+    closed = kernel.closed_bits
+    best = 0
+    for i in iter_bits(mask):
+        seen = 1 << i
+        frontier = seen
+        missing = mask & ~seen
+        depth = 0
+        while missing:
+            reach = 0
+            for j in iter_bits(frontier):
+                reach |= closed[j]
+            frontier = reach & ~seen
+            if not frontier:
+                u = kernel.labels[(missing & -missing).bit_length() - 1]
+                raise ValueError(
+                    f"vertices {kernel.labels[i]!r} and {u!r} are disconnected in G"
+                )
+            seen |= frontier
+            missing &= ~seen
+            depth += 1
+        if depth > best:
+            best = depth
+    return best
+
+
 def weak_diameter(graph: nx.Graph, vertices: Iterable[Vertex]) -> int:
     """Return the weak diameter of ``vertices``: max distance in ``graph``.
 
     Raises ``ValueError`` when two vertices of the set lie in different
-    connected components of ``graph`` (their distance is infinite).
+    connected components of ``graph`` (their distance is infinite) — and
+    likewise for a vertex missing from the graph entirely, so
+    :func:`is_d_bounded` keeps reporting ``False`` on stale vertex sets.
     """
     vertex_list = list(vertices)
     if len(vertex_list) <= 1:
         return 0
-    best = 0
-    targets = set(vertex_list)
+    kernel = kernel_for(graph)
+    index_of = kernel.index_of
+    mask = 0
     for v in vertex_list:
-        dist = distances_from(graph, v)
-        for u in targets:
-            if u not in dist:
-                raise ValueError(f"vertices {v!r} and {u!r} are disconnected in G")
-            if dist[u] > best:
-                best = dist[u]
-    return best
+        i = index_of.get(v)
+        if i is None:
+            raise ValueError(f"vertex {v!r} is not in the graph")
+        mask |= 1 << i
+    return weak_diameter_mask(kernel, mask)
 
 
 def is_d_bounded(graph: nx.Graph, vertices: Iterable[Vertex], bound: int) -> bool:
