@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import warnings
 
@@ -122,6 +123,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_p.add_argument(
         "--json", action="store_true", help="emit the SimReport as JSON"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's contract-enforcing static analysis "
+        "(kernel invalidation, derived caches, determinism, registry "
+        "hygiene, bitset discipline)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (e.g. RPR001,RPR003); "
+        "default: all",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON (the CI gate's format)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
     )
 
     algorithms = sub.add_parser("algorithms", help="list registered algorithms")
@@ -311,6 +335,53 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Imported here so `repro run`/`simulate` never pay for the linter.
+    from repro.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        rows = [[rule_id, summary] for rule_id, summary in all_rules().items()]
+        print(format_table(["rule", "checks"], rows))
+        return 0
+    select = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in select if rule_id not in all_rules()]
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(all_rules())}",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, select=select)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=1,
+            )
+        )
+        return 2 if findings else 0
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"{len(findings)} finding(s); suppress documented exceptions "
+            f"inline with `# repro: ignore[RPRxxx] reason`"
+        )
+        return 2
+    print(f"clean: {', '.join(args.paths)}")
+    return 0
+
+
 def _cmd_algorithms(args) -> int:
     specs = list_algorithms(args.problem)
     if args.json:
@@ -371,6 +442,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "algorithms":
         return _cmd_algorithms(args)
     if args.command == "families":

@@ -71,13 +71,14 @@ def figure1_report(seeds: Sequence[int] = (0, 1, 2)) -> str:
 def figure2_rows(seeds: Sequence[int] = (0, 1, 2)) -> list[dict]:
     """Measure the Lemma 3.3 charging picture on cut-rich instances."""
     rows = []
-    for name, t, graph in _figure_instances(seeds):
+    for name, _t, graph in _figure_instances(seeds):
         interesting = globally_interesting_vertices(graph)
         optimum = minimum_dominating_set(graph)
         worst_distance = 0
-        for v in interesting:
+        for v in sorted(interesting, key=repr):
             dist = distances_from(graph, v)
             worst_distance = max(
+                # repro: ignore[RPR003] min() over the set is order-insensitive
                 worst_distance, min(dist.get(d, 10 ** 9) for d in optimum)
             )
         charge = len(interesting) / len(optimum) if optimum else 0.0

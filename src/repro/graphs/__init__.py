@@ -18,7 +18,14 @@ relies on:
   :mod:`repro.graphs.random_families`, :mod:`repro.graphs.families`).
 """
 
-from repro.graphs.kernel import GraphKernel, invalidate_kernel, kernel_for
+from repro.graphs.kernel import (
+    GraphKernel,
+    StaleKernelError,
+    invalidate_kernel,
+    kernel_for,
+    kernel_guard_enabled,
+    set_kernel_guard,
+)
 from repro.graphs.util import (
     closed_neighborhood,
     closed_neighborhood_of_set,
@@ -60,8 +67,11 @@ from repro.graphs.asdim import (
 
 __all__ = [
     "GraphKernel",
+    "StaleKernelError",
     "kernel_for",
     "invalidate_kernel",
+    "kernel_guard_enabled",
+    "set_kernel_guard",
     "closed_neighborhood",
     "closed_neighborhood_of_set",
     "ball",

@@ -72,7 +72,7 @@ def is_valid_block_cut_tree(graph: nx.Graph, tree: nx.Graph) -> bool:
         if tree.degree(node) <= 1 and tree.nodes[node]["kind"] == CUT and tree.number_of_nodes() > 1:
             return False
     block_union: set[Vertex] = set()
-    for node, data in tree.nodes(data=True):
+    for _node, data in tree.nodes(data=True):
         if data["kind"] == BLOCK:
             block_union |= set(data["members"])
     return block_union == set(graph.nodes)

@@ -153,9 +153,12 @@ def nesting_forest(
         for component in components_after_removal(graph, outer):
             if anchor in component:
                 continue
-            if set(inner) - set(outer) and set(inner) <= component | set(outer):
-                if set(inner) & component:
-                    return True
+            if (
+                set(inner) - set(outer)
+                and set(inner) <= component | set(outer)
+                and set(inner) & component
+            ):
+                return True
         return False
 
     forest = nx.DiGraph()

@@ -27,7 +27,16 @@ cache-hit path stays O(1), so the only automatic guard is the node
 count: mutations that change it rebuild transparently, while any
 equal-count mutation (edge rewires, node replacement) requires
 :func:`invalidate_kernel` (or simply not mutating — the contract; see
-README "Performance").
+README "Performance" and "Correctness tooling").
+
+The contract is checked twice over: statically by ``repro lint`` —
+RPR001 flags mutation paths that can reach a function exit without
+``invalidate_kernel``, RPR002 flags per-graph caches that never
+register with :func:`register_derived_cache` — and dynamically by the
+``REPRO_KERNEL_GUARD=1`` sanitizer, under which every cache hit
+re-verifies a structural fingerprint and raises
+:class:`StaleKernelError` (with build-site provenance) instead of
+serving a stale kernel.
 
 Masks are plain Python ints: bit ``i`` set means "vertex with kernel
 index ``i`` is in the set".  ``full_mask`` has all ``n`` bits set.
@@ -41,6 +50,8 @@ representation (O(n + m)) is the right tool again.
 
 from __future__ import annotations
 
+import os
+import traceback
 import weakref
 from array import array
 from bisect import bisect_left
@@ -49,6 +60,21 @@ from typing import Hashable, Iterable, Iterator, NamedTuple
 import networkx as nx
 
 Vertex = Hashable
+
+
+class StaleKernelError(RuntimeError):
+    """A cached :class:`GraphKernel` was served for a mutated graph.
+
+    Raised only under the ``REPRO_KERNEL_GUARD=1`` sanitizer (see
+    :func:`set_kernel_guard`): the graph's structural fingerprint no
+    longer matches the one recorded when its kernel was built, meaning
+    some code mutated the graph without calling
+    :func:`invalidate_kernel` — every kernel-backed primitive would have
+    silently computed on stale topology.  The error message carries the
+    build-site provenance of the offending kernel; the stale kernel and
+    its derived caches are dropped before raising, so a handler may
+    simply invalidate-and-retry.
+    """
 
 
 class KernelWire(NamedTuple):
@@ -440,6 +466,8 @@ class GraphKernel:
 
 
 _KERNELS: "weakref.WeakKeyDictionary[nx.Graph, GraphKernel]"
+# repro: ignore[RPR002] the primary kernel cache itself — invalidate_kernel
+# clears it directly, so registering it as a *derived* cache would be circular.
 _KERNELS = weakref.WeakKeyDictionary()
 
 
@@ -450,27 +478,146 @@ _DERIVED_CACHES: list = []
 
 
 def register_derived_cache(cache: "weakref.WeakKeyDictionary") -> None:
-    """Register a per-graph cache for :func:`invalidate_kernel` to clear."""
+    """Register a per-graph cache for :func:`invalidate_kernel` to clear.
+
+    This is the *other half* of the mutation contract: any module-level
+    per-graph cache whose values are derived from kernel-era structure
+    (memoized verdicts, ball-mask arenas, exact optima, ...) must pass
+    itself here, or the one sanctioned mutation-recovery call —
+    ``invalidate_kernel(graph)`` — cannot clear it and it will serve
+    stale values.  ``repro lint`` enforces this statically as RPR002.
+    """
     _DERIVED_CACHES.append(cache)
+
+
+# -- the REPRO_KERNEL_GUARD runtime sanitizer -------------------------------
+#
+# The static pass (repro.lint, RPR001) proves the invalidation contract
+# for mutations it can see; the guard catches the rest at runtime —
+# aliased mutation, third-party code, REPL experiments.  When enabled,
+# kernel_for records a cheap structural fingerprint per graph at build
+# time and re-verifies it on every cache hit, raising StaleKernelError
+# (with build-site provenance) instead of serving a stale kernel.
+
+_GUARD_ENV = "REPRO_KERNEL_GUARD"
+_KERNEL_GUARD = os.environ.get(_GUARD_ENV, "") not in ("", "0")
+
+# graph -> ((n, m, node_xor, edge_xor), "file:line in func" build site).
+# Registered as a derived cache: invalidate_kernel resets the record
+# along with the kernel itself, so an invalidate-then-rebuild cycle
+# re-fingerprints cleanly.
+_GUARD_STATE: "weakref.WeakKeyDictionary[nx.Graph, tuple]" = weakref.WeakKeyDictionary()
+register_derived_cache(_GUARD_STATE)
+
+
+def set_kernel_guard(enabled: bool) -> bool:
+    """Toggle the staleness sanitizer; returns the previous setting.
+
+    The initial setting comes from the ``REPRO_KERNEL_GUARD`` environment
+    variable at import time (any value other than empty/``0`` enables
+    it); tests flip it per-case through this function.
+    """
+    global _KERNEL_GUARD
+    previous = _KERNEL_GUARD
+    _KERNEL_GUARD = bool(enabled)
+    return previous
+
+
+def kernel_guard_enabled() -> bool:
+    """Whether the staleness sanitizer is currently active."""
+    return _KERNEL_GUARD
+
+
+def _structural_fingerprint(graph: nx.Graph) -> tuple[int, int, int, int]:
+    """(n, m, node-xor, edge-xor): order-independent, O(n + m), cheap.
+
+    Hashes are per-process (str hashes are salted), which is fine: the
+    fingerprint is only ever compared within one process lifetime.
+    """
+    node_acc = 0
+    for v in graph.nodes:
+        node_acc ^= hash(v)
+    edge_acc = 0
+    for u, v in graph.edges:
+        hu, hv = hash(u), hash(v)
+        if hu > hv:
+            hu, hv = hv, hu
+        edge_acc ^= hash((hu, hv))
+    return (graph.number_of_nodes(), graph.number_of_edges(), node_acc, edge_acc)
+
+
+def _build_site() -> str:
+    """The first non-kernel.py frame below us: where kernel_for was called."""
+    here = os.path.basename(__file__)
+    for frame in reversed(traceback.extract_stack()[:-2]):
+        if os.path.basename(frame.filename) != here:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+def _guard_record(graph: nx.Graph) -> None:
+    try:
+        _GUARD_STATE[graph] = (_structural_fingerprint(graph), _build_site())
+    except TypeError:  # graph type that cannot be weak-referenced
+        pass
+
+
+def _guard_verify(graph: nx.Graph) -> None:
+    try:
+        state = _GUARD_STATE.get(graph)
+    except TypeError:
+        return
+    if state is None:
+        # Kernel cached before the guard was switched on: adopt it now.
+        _guard_record(graph)
+        return
+    recorded, site = state
+    current = _structural_fingerprint(graph)
+    if current == recorded:
+        return
+    invalidate_kernel(graph)  # drop the stale kernel + derived caches
+    n0, m0 = recorded[0], recorded[1]
+    raise StaleKernelError(
+        f"stale GraphKernel: graph was mutated after kernel_for() without "
+        f"invalidate_kernel() — kernel built with n={n0}, m={m0} at {site}; "
+        f"graph now has n={current[0]}, m={current[1]} "
+        f"(adjacency checksum {'matches' if current[2:] == recorded[2:] else 'differs'}). "
+        f"Call repro.graphs.invalidate_kernel(graph) after every mutation; "
+        f"the stale kernel has been dropped, so retrying is safe."
+    )
 
 
 def kernel_for(graph: nx.Graph) -> GraphKernel:
     """The cached :class:`GraphKernel` of ``graph`` (built on first use).
 
-    The cache-hit path must stay O(1) — it sits in front of every hot
-    primitive — so the only mutation guard applied per call is the node
-    count.  A mutation that changes the node count triggers a rebuild;
-    any mutation that keeps it (edge rewires, but also equal-count node
+    **The mutation contract** (enforced by ``repro lint`` rule RPR001
+    and, at runtime, the ``REPRO_KERNEL_GUARD`` sanitizer): the cache-hit
+    path must stay O(1) — it sits in front of every hot primitive — so
+    the only mutation guard applied per call is the node count.  A
+    mutation that changes the node count triggers a rebuild; any
+    mutation that keeps it (edge rewires, but also equal-count node
     replacement) does **not** and is on the caller: either stop
     mutating after ``kernel_for`` (the contract) or call
-    :func:`invalidate_kernel` after the mutation.
+    :func:`invalidate_kernel` after the mutation — on *every* path from
+    the mutation to the surrounding function's exit, including early
+    returns and raised errors.
+
+    Under ``REPRO_KERNEL_GUARD=1`` (or :func:`set_kernel_guard`), every
+    cache hit re-verifies a structural fingerprint recorded at build
+    time and raises :class:`StaleKernelError` on a contract breach
+    instead of serving the stale kernel.  The guard costs O(n + m) per
+    hit, so it is a CI/debug tool, not a production default.
     """
     kernel = _KERNELS.get(graph)
     if kernel is not None and kernel.n == graph.number_of_nodes():
+        if _KERNEL_GUARD:
+            _guard_verify(graph)
         return kernel
     kernel = GraphKernel(graph)
     try:
         _KERNELS[graph] = kernel
+        if _KERNEL_GUARD:
+            _guard_record(graph)
     except TypeError:  # graph type that cannot be weak-referenced
         pass
     return kernel
@@ -501,13 +648,24 @@ def graph_from_wire(wire: KernelWire) -> nx.Graph:
     kernel = GraphKernel._from_csr(labels, indptr, indices)
     try:
         _KERNELS[graph] = kernel
+        if _KERNEL_GUARD:
+            _guard_record(graph)
     except TypeError:  # graph type that cannot be weak-referenced
         pass
     return graph
 
 
 def invalidate_kernel(graph: nx.Graph) -> None:
-    """Drop every cached view of ``graph`` (call after mutating it)."""
+    """Drop every cached view of ``graph`` (call after mutating it).
+
+    This is the one sanctioned recovery from a mutation: it evicts the
+    cached :class:`GraphKernel` *and* every registered derived cache
+    (see :func:`register_derived_cache`) plus the sanitizer's
+    fingerprint, so the next ``kernel_for`` rebuilds from the mutated
+    topology.  The caller's obligation — checked by ``repro lint``
+    RPR001 — is to reach this call on every path from a mutation to the
+    mutating function's exit.
+    """
     try:
         _KERNELS.pop(graph, None)
         for cache in _DERIVED_CACHES:

@@ -138,10 +138,14 @@ def long_strip_forces_local_cuts(graph: nx.Graph, r: int) -> bool:
     for segment in find_strip_segments(graph):
         for cut in segment:
             u, v = sorted(cut, key=repr)
-            if graph.has_edge(u, v) and graph.degree(u) <= 3 and graph.degree(v) <= 3:
-                if not is_local_two_cut(graph, u, v, r, minimal=True):
-                    # interior rungs must qualify; boundary rungs may not
-                    continue
+            if (
+                graph.has_edge(u, v)
+                and graph.degree(u) <= 3
+                and graph.degree(v) <= 3
+                and not is_local_two_cut(graph, u, v, r, minimal=True)
+            ):
+                # interior rungs must qualify; boundary rungs may not
+                continue
         # segment scanned without contradiction
     return True
 

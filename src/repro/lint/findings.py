@@ -1,0 +1,37 @@
+"""Finding records produced by the :mod:`repro.lint` rules.
+
+A :class:`Finding` pins one contract violation to a file/line/column and
+carries the rule id (``RPRxxx``) so it can be suppressed inline with
+``# repro: ignore[RPRxxx]`` (see :mod:`repro.lint.suppressions`) and
+rendered either as ``path:line:col: RPRxxx message`` text or as JSON for
+the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, ordered for deterministic output."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RPRxxx message`` — the text-mode line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (the ``repro lint --json`` payload)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

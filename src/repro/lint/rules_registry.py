@@ -1,0 +1,183 @@
+"""Registry hygiene: RPR004.
+
+Every ``@register_algorithm(...)`` registration declares capabilities
+the rest of the system trusts blindly — the CLI derives its flag
+choices from ``modes``, :func:`repro.api.solve` routes ``mode=
+"simulate"`` only when declared, and ``default_policy`` is what
+``spec.policy_for`` hands adapters that honor ``config.policy``.  This
+rule cross-checks each declaration against the decorated adapter body:
+
+* literal validity — ``problem`` in ``{"mds", "mvc"}``, ``modes`` a
+  non-empty subset of ``{"fast", "simulate"}``, no duplicate ``name``
+  within the module;
+* ``"simulate"`` declared ⟺ the adapter actually routes
+  ``config.mode`` (an adapter that ignores the mode silently runs
+  ``fast`` under a ``simulate`` request; one that routes it without
+  declaring is unreachable capability);
+* ``default_policy`` declared ⟺ the adapter reads ``config.policy``
+  (same both-directions argument).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, call_tail
+from repro.lint.findings import Finding
+
+VALID_PROBLEMS = {"mds", "mvc"}
+VALID_MODES = {"fast", "simulate"}
+
+
+class RegistryHygieneRule:
+    """RPR004: @register_algorithm capability flags vs adapter body."""
+
+    rule = "RPR004"
+    summary = "register_algorithm capability flags do not match adapter use"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        seen_names: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in node.decorator_list:
+                if (
+                    isinstance(decorator, ast.Call)
+                    and call_tail(decorator) == "register_algorithm"
+                ):
+                    yield from self._check_registration(
+                        module, decorator, node, seen_names
+                    )
+
+    def _check_registration(
+        self,
+        module: ModuleContext,
+        decorator: ast.Call,
+        adapter: ast.FunctionDef | ast.AsyncFunctionDef,
+        seen_names: dict[str, int],
+    ) -> Iterator[Finding]:
+        keywords = {kw.arg: kw.value for kw in decorator.keywords if kw.arg}
+
+        name = keywords.get("name")
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if name.value in seen_names:
+                yield self._finding(
+                    module,
+                    name,
+                    f"algorithm name {name.value!r} already registered at "
+                    f"line {seen_names[name.value]}; registry names must be "
+                    f"unique",
+                )
+            else:
+                seen_names[name.value] = decorator.lineno
+
+        problem = keywords.get("problem")
+        if (
+            isinstance(problem, ast.Constant)
+            and isinstance(problem.value, str)
+            and problem.value not in VALID_PROBLEMS
+        ):
+            yield self._finding(
+                module,
+                problem,
+                f"unknown problem {problem.value!r}; "
+                f"choose from {sorted(VALID_PROBLEMS)}",
+            )
+
+        modes = self._literal_modes(keywords.get("modes"))
+        if modes is not None:
+            invalid = [m for m in modes if m not in VALID_MODES]
+            if invalid or not modes:
+                yield self._finding(
+                    module,
+                    keywords["modes"],
+                    f"modes {tuple(modes)!r} must be a non-empty subset of "
+                    f"{sorted(VALID_MODES)}",
+                )
+        declared_simulate = modes is not None and "simulate" in modes
+
+        uses_mode = self._adapter_reads(adapter, "mode")
+        uses_policy = self._adapter_reads(adapter, "policy")
+
+        if declared_simulate and not uses_mode:
+            yield self._finding(
+                module,
+                decorator,
+                f"modes declares 'simulate' but adapter {adapter.name!r} "
+                f"never routes config.mode — a simulate request would "
+                f"silently run the fast path",
+            )
+        if modes is not None and not declared_simulate and uses_mode:
+            yield self._finding(
+                module,
+                decorator,
+                f"adapter {adapter.name!r} routes config.mode but modes "
+                f"does not declare 'simulate' — the capability is "
+                f"unreachable through the registry",
+            )
+
+        has_policy = "default_policy" in keywords and not (
+            isinstance(keywords["default_policy"], ast.Constant)
+            and keywords["default_policy"].value is None
+        )
+        if has_policy and not uses_policy:
+            yield self._finding(
+                module,
+                decorator,
+                f"default_policy is declared but adapter {adapter.name!r} "
+                f"never reads config.policy — the declared policy can "
+                f"never take effect",
+            )
+        if not has_policy and uses_policy:
+            yield self._finding(
+                module,
+                decorator,
+                f"adapter {adapter.name!r} reads config.policy but "
+                f"declares no default_policy — policy-less runs fall back "
+                f"to an adapter-local default the registry cannot see",
+            )
+
+    @staticmethod
+    def _literal_modes(node: ast.expr | None) -> list[str] | None:
+        """The modes tuple when given literally; None when absent/dynamic."""
+        if node is None:
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            values = []
+            for element in node.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    return None
+                values.append(element.value)
+            return values
+        return None
+
+    @staticmethod
+    def _adapter_reads(
+        adapter: ast.FunctionDef | ast.AsyncFunctionDef, attr: str
+    ) -> bool:
+        """Whether the adapter body reads ``<config-param>.<attr>``."""
+        args = adapter.args
+        positional = [*args.posonlyargs, *args.args]
+        if len(positional) < 2:
+            return False
+        config_name = positional[1].arg
+        return any(
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and isinstance(node.value, ast.Name)
+            and node.value.id == config_name
+            for node in ast.walk(adapter)
+        )
+
+    def _finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+        )

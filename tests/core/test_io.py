@@ -79,6 +79,6 @@ class TestCorpus:
         write_corpus(tmp_path / "c", ["ladder"], [10])
         from repro.analysis.domination import is_dominating_set
 
-        for meta, graph in read_corpus(tmp_path / "c"):
+        for _meta, graph in read_corpus(tmp_path / "c"):
             result = algorithm1(graph)
             assert is_dominating_set(graph, result.solution)

@@ -85,5 +85,5 @@ class TestRemoval:
     def test_mapping_path_compressed(self):
         g = nx.complete_graph(6)
         _, mapping = remove_true_twins(g)
-        for v, rep in mapping.items():
+        for rep in mapping.values():
             assert mapping[rep] == rep

@@ -1,0 +1,115 @@
+"""The `repro lint` CLI: exit codes, --json, --select, --list-rules."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    def widen(graph, u, v):
+        graph.add_edge(u, v)
+        return graph
+    """
+)
+
+CLEAN_SOURCE = textwrap.dedent(
+    """
+    def widen(graph, u, v):
+        graph.add_edge(u, v)
+        invalidate_kernel(graph)
+        return graph
+    """
+)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_SOURCE)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_SOURCE)
+    return path
+
+
+def test_findings_exit_2_with_rendered_lines(bad_file, capsys):
+    assert main(["lint", str(bad_file)]) == 2
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+    assert f"{bad_file}:" in out
+    assert "repro: ignore" in out  # the suppression hint
+
+
+def test_clean_file_exits_0(clean_file, capsys):
+    assert main(["lint", str(clean_file)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_output_round_trips(bad_file, capsys):
+    assert main(["lint", "--json", str(bad_file)]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["findings"]) == 1
+    finding = payload["findings"][0]
+    assert finding["rule"] == "RPR001"
+    assert finding["path"] == str(bad_file)
+    assert finding["line"] > 0
+
+
+def test_json_clean_output(clean_file, capsys):
+    assert main(["lint", "--json", str(clean_file)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"findings": [], "count": 0}
+
+
+def test_select_limits_rules(bad_file, capsys):
+    assert main(["lint", "--select", "RPR005", str(bad_file)]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_id_is_an_error(bad_file, capsys):
+    assert main(["lint", "--select", "RPR999", str(bad_file)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_an_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in out
+
+
+def test_directory_walk_finds_nested_files(tmp_path, capsys):
+    nested = tmp_path / "pkg" / "sub"
+    nested.mkdir(parents=True)
+    (nested / "bad.py").write_text(BAD_SOURCE)
+    (tmp_path / "pkg" / "ok.py").write_text(CLEAN_SOURCE)
+    assert main(["lint", "--json", str(tmp_path / "pkg")]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["path"].endswith("bad.py")
+
+
+def test_shipped_tree_is_lint_clean(capsys):
+    """Acceptance gate: `repro lint src/repro` runs clean from the repo root."""
+    import pathlib
+
+    import repro
+
+    src_root = pathlib.Path(repro.__file__).resolve().parent
+    assert main(["lint", "--json", str(src_root)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 0

@@ -1,0 +1,143 @@
+"""RPR003: nondeterminism leaks in report-producing modules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+REPORT_PATH = "src/repro/experiments/demo.py"
+PLAIN_PATH = "src/repro/solvers/demo.py"
+
+
+def rpr003(source: str, path: str = REPORT_PATH) -> list[str]:
+    findings = lint_source(textwrap.dedent(source), path, select=("RPR003",))
+    return [f.rule for f in findings]
+
+
+# -- unsorted set iteration --------------------------------------------------
+
+
+def test_set_loop_fires_in_report_module():
+    src = """
+        def report(graph):
+            chosen = minimum_dominating_set(graph)
+            for v in chosen:
+                print(v)
+    """
+    assert rpr003(src) == ["RPR003"]
+
+
+def test_sorted_set_loop_is_quiet():
+    src = """
+        def report(graph):
+            chosen = minimum_dominating_set(graph)
+            for v in sorted(chosen):
+                print(v)
+    """
+    assert rpr003(src) == []
+
+
+def test_set_literal_comprehension_fires():
+    src = """
+        def report():
+            return [v for v in {3, 1, 2}]
+    """
+    assert rpr003(src) == ["RPR003"]
+
+
+def test_list_conversion_of_set_fires():
+    src = """
+        def report(result):
+            return list(result.solution)
+    """
+    assert rpr003(src) == ["RPR003"]
+
+
+def test_join_over_set_fires():
+    src = """
+        def report(names):
+            return ", ".join(set(names))
+    """
+    assert rpr003(src) == ["RPR003"]
+
+
+def test_set_loop_allowed_outside_report_modules():
+    src = """
+        def solver_internal(graph):
+            chosen = minimum_dominating_set(graph)
+            best = None
+            for v in chosen:
+                best = v if best is None else min(best, v)
+            return best
+    """
+    assert rpr003(src, path=PLAIN_PATH) == []
+
+
+# -- wall-clock reads --------------------------------------------------------
+
+
+def test_unsanctioned_time_read_fires():
+    src = """
+        import time
+
+        def report():
+            stamp = time.time()
+            return {"stamp": stamp}
+    """
+    assert rpr003(src) == ["RPR003"]
+
+
+def test_time_into_wall_time_slot_is_quiet():
+    src = """
+        import time
+
+        def report():
+            start = time.perf_counter()
+            work()
+            return {"wall_time": time.perf_counter() - start}
+    """
+    assert rpr003(src) == []
+
+
+def test_time_keyword_argument_slot_is_quiet():
+    src = """
+        import time
+
+        def report():
+            return Row(wall_time=time.perf_counter())
+    """
+    assert rpr003(src) == []
+
+
+# -- unseeded RNG (checked in every module) ----------------------------------
+
+
+def test_global_rng_call_fires_everywhere():
+    src = """
+        import random
+
+        def scramble(items):
+            random.shuffle(items)
+    """
+    assert rpr003(src, path=PLAIN_PATH) == ["RPR003"]
+
+
+def test_seedless_random_instance_fires():
+    src = """
+        import random
+
+        def fresh_rng():
+            return random.Random()
+    """
+    assert rpr003(src, path=PLAIN_PATH) == ["RPR003"]
+
+
+def test_seeded_random_instance_is_quiet():
+    src = """
+        import random
+
+        def rng_for(seed):
+            return random.Random(seed)
+    """
+    assert rpr003(src, path=PLAIN_PATH) == []

@@ -1,0 +1,127 @@
+"""RPR004: @register_algorithm capability flags vs. adapter body."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def rpr004(source: str) -> list[str]:
+    findings = lint_source(
+        textwrap.dedent(source), "src/repro/api/demo.py", select=("RPR004",)
+    )
+    return [f.rule for f in findings]
+
+
+def test_consistent_fast_only_registration_is_quiet():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast",))
+        def adapter(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == []
+
+
+def test_consistent_simulate_registration_is_quiet():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast", "simulate"))
+        def adapter(graph, config):
+            if config.mode == "simulate":
+                return simulate(graph, config)
+            return solve(graph)
+    """
+    assert rpr004(src) == []
+
+
+def test_declared_simulate_without_mode_routing_fires():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast", "simulate"))
+        def adapter(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_mode_routing_without_declared_simulate_fires():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast",))
+        def adapter(graph, config):
+            if config.mode == "simulate":
+                return simulate(graph, config)
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_policy_flag_without_policy_read_fires():
+    src = """
+        @register_algorithm(
+            name="demo", problem="mds", modes=("fast",), default_policy="greedy"
+        )
+        def adapter(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_policy_read_without_policy_flag_fires():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast",))
+        def adapter(graph, config):
+            return solve(graph, policy=config.policy)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_policy_flag_with_policy_read_is_quiet():
+    src = """
+        @register_algorithm(
+            name="demo", problem="mds", modes=("fast",), default_policy="greedy"
+        )
+        def adapter(graph, config):
+            return solve(graph, policy=config.policy)
+    """
+    assert rpr004(src) == []
+
+
+def test_duplicate_name_fires():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("fast",))
+        def adapter_a(graph, config):
+            return solve(graph)
+
+        @register_algorithm(name="demo", problem="mvc", modes=("fast",))
+        def adapter_b(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_unknown_problem_fires():
+    src = """
+        @register_algorithm(name="demo", problem="tsp", modes=("fast",))
+        def adapter(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_invalid_mode_fires():
+    src = """
+        @register_algorithm(name="demo", problem="mds", modes=("turbo",))
+        def adapter(graph, config):
+            return solve(graph)
+    """
+    assert rpr004(src) == ["RPR004"]
+
+
+def test_real_registry_module_is_clean():
+    """The shipped registrations must satisfy their own declared flags."""
+    from pathlib import Path
+
+    import repro.api.algorithms as algorithms_module
+
+    path = Path(algorithms_module.__file__)
+    findings = lint_source(path.read_text(), str(path), select=("RPR004",))
+    assert findings == []

@@ -96,7 +96,7 @@ class TestSolverFailureModes:
         # component reconstruction must refuse rather than guess.
         views, _ = gather_views(g, policy.detection_radius)
         outcomes = []
-        for uid, view in views.items():
+        for view in views.values():
             try:
                 outcomes.append(decide_membership(view, policy))
             except InsufficientViewError:

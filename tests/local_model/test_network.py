@@ -49,7 +49,7 @@ class TestDelivery:
     def test_port_toward_inverse(self, cycle6):
         net = Network(cycle6)
         for v in cycle6.nodes:
-            for p, u in enumerate(net.nodes[v].ports):
+            for u in net.nodes[v].ports:
                 assert net.nodes[u].ports[net.port_toward(u, v)] == v
 
     def test_message_arrives_at_back_port(self, path5):

@@ -15,7 +15,7 @@ from repro.solvers.exact import domination_number
 
 from tests.property.strategies import connected_graphs, sparse_connected_graphs
 
-COMMON = dict(max_examples=40, deadline=None)
+COMMON = {"max_examples": 40, "deadline": None}
 
 
 @given(connected_graphs())

@@ -13,7 +13,7 @@ from repro.solvers.tree_dp import tree_minimum_dominating_set
 
 from tests.property.strategies import connected_graphs, random_trees
 
-COMMON = dict(max_examples=40, deadline=None)
+COMMON = {"max_examples": 40, "deadline": None}
 
 
 @given(connected_graphs())

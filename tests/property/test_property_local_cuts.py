@@ -26,7 +26,7 @@ from tests.graphs.test_local_cuts_legacy import (
 )
 from tests.property.strategies import connected_graphs, sparse_connected_graphs
 
-COMMON = dict(max_examples=30, deadline=None)
+COMMON = {"max_examples": 30, "deadline": None}
 
 
 @given(sparse_connected_graphs())

@@ -14,7 +14,7 @@ from repro.local_model.protocols import D2Protocol, run_protocol_dominating_set
 
 from tests.property.strategies import connected_graphs, random_trees
 
-COMMON = dict(max_examples=30, deadline=None)
+COMMON = {"max_examples": 30, "deadline": None}
 
 
 @given(connected_graphs(max_nodes=12))
