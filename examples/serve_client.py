@@ -1,0 +1,162 @@
+"""Smoke client for a running `repro serve` instance.
+
+Submits one solve job and one simulate job over HTTP, polls both to
+completion, and checks the results look sane.  CI starts the service in
+the background and runs this script against it:
+
+    PYTHONPATH=src python -m repro serve --port 8123 --workers 2 &
+    python examples/serve_client.py --base http://127.0.0.1:8123 --wait-server
+
+Exit status is non-zero on any failure, so the script doubles as a
+deployment health check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def request(base: str, method: str, path: str, payload: dict | None = None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def wait_for_server(base: str, deadline_s: float = 30.0) -> None:
+    start = time.monotonic()
+    while True:
+        try:
+            status, body = request(base, "GET", "/healthz")
+            if status == 200 and body.get("status") == "ok":
+                return
+        except OSError:
+            pass
+        elapsed = time.monotonic() - start
+        if elapsed > deadline_s:
+            raise SystemExit(f"server at {base} not healthy after {elapsed:.0f}s")
+        time.sleep(0.25)
+
+
+def run_job(base: str, payload: dict) -> list:
+    status, job = request(base, "POST", "/jobs", payload)
+    if status != 202:
+        raise SystemExit(f"submit rejected ({status}): {job}")
+    job_id = job["id"]
+    print(f"submitted {job_id}: {job['kind']} job, {job['tasks']} task(s)")
+    start = time.monotonic()
+    while True:
+        status, record = request(base, "GET", f"/jobs/{job_id}")
+        if record["state"] not in ("queued", "running"):
+            break
+        elapsed = time.monotonic() - start
+        if elapsed > 120:
+            raise SystemExit(f"{job_id} still {record['state']} after {elapsed:.0f}s")
+        time.sleep(0.05)
+    if record["state"] != "completed":
+        raise SystemExit(f"{job_id} ended {record['state']}: {record['error']}")
+    status, reports = request(base, "GET", f"/jobs/{job_id}/result")
+    if status != 200:
+        raise SystemExit(f"result fetch failed ({status}): {reports}")
+    print(f"  completed in {record['wall_time']}s, {len(reports)} report(s)")
+    return reports
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base", default="http://127.0.0.1:8008", help="server base URL"
+    )
+    parser.add_argument(
+        "--wait-server",
+        action="store_true",
+        help="poll /healthz until the server is up (CI races the boot)",
+    )
+    args = parser.parse_args(argv)
+    base = args.base.rstrip("/")
+
+    if args.wait_server:
+        wait_for_server(base)
+
+    solve_reports = run_job(
+        base,
+        {
+            "kind": "solve",
+            "instances": [
+                {"family": "fan", "size": 20, "seed": 0},
+                {"family": "ladder", "size": 10, "seed": 1},
+            ],
+            "algorithms": ["d2", "greedy"],
+            "validate": "ratio",
+        },
+    )
+    for report in solve_reports:
+        if not report["valid"]:
+            raise SystemExit(f"invalid solution in report: {report}")
+        print(
+            f"  {report['algorithm']:>8} on {report['instance']['family']}"
+            f"(n={report['instance']['n']}): |S|={len(report['result'])}"
+            f" ratio={report['ratio']}"
+        )
+
+    sim_reports = run_job(
+        base,
+        {
+            "kind": "simulate",
+            "instances": [{"family": "tree", "size": 15, "seed": 0}],
+            "specs": [
+                {
+                    "algorithm": "d2",
+                    "model": "congest",
+                    "budget": 8,
+                    "faults": "drop=0.1,crash=0",
+                }
+            ],
+        },
+    )
+    for report in sim_reports:
+        print(
+            f"  {report['algorithm']:>8} simulated: rounds={report['rounds']}"
+            f" messages={report['total_messages']}"
+        )
+
+    # Second identical solve job: the resident caches must serve it.
+    run_job(
+        base,
+        {
+            "kind": "solve",
+            "instances": [
+                {"family": "fan", "size": 20, "seed": 0},
+                {"family": "ladder", "size": 10, "seed": 1},
+            ],
+            "algorithms": ["d2", "greedy"],
+            "validate": "ratio",
+        },
+    )
+    status, stats = request(base, "GET", "/stats")
+    opt = stats["opt_cache"]
+    print(
+        f"stats: {stats['jobs']['submitted']} jobs submitted, "
+        f"opt_cache hits={opt['hits']} misses={opt['misses']}"
+    )
+    if opt["hits"] == 0:
+        raise SystemExit("warm job never hit the resident OPT cache")
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

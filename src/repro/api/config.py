@@ -107,6 +107,64 @@ class RunReport:
         return self.result.solution if self.result is not None else set()
 
 
+def run_config_from_options(
+    *,
+    simulate: bool = False,
+    validate: str = "ratio",
+    solver: str = "milp",
+    opt_cache: bool = True,
+    seed: int = 0,
+    policy: "RadiusPolicy | None" = None,
+) -> RunConfig:
+    """Build a :class:`RunConfig` from front-door options.
+
+    The single construction point shared by the CLI (``repro run`` /
+    ``compare`` flags) and the serve request parser
+    (:mod:`repro.serve.schema`), so the two entry points cannot drift:
+    ``simulate`` maps to the execution mode, everything else passes
+    through with the front doors' ``validate="ratio"`` default.
+    """
+    return RunConfig(
+        policy=policy,
+        mode="simulate" if simulate else "fast",
+        validate=validate,
+        solver=solver,
+        opt_cache=opt_cache,
+        seed=seed,
+    )
+
+
+def parse_faults(text: str | None) -> "FaultPlan | None":
+    """Parse a fault-plan string: ``drop=<p>`` and/or ``crash=<v>+<v>``.
+
+    The one parser behind the CLI ``--faults`` flag and the serve wire
+    schema's string-form ``"faults"`` field (``"drop=0.2,crash=0+4"``),
+    so the accepted grammar cannot drift between entry points.
+    ``None``/empty input means no fault plan.  Raises ``ValueError`` on
+    an unknown knob.
+    """
+    # Imported lazily: config is a leaf module and the engine pulls in
+    # the whole local_model package.
+    from repro.local_model.engine import FaultPlan
+
+    if text is None:
+        return None
+    drop = 0.0
+    crashed: list = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, _, value = part.partition("=")
+        if key == "drop":
+            drop = float(value)
+        elif key == "crash":
+            for label in filter(None, value.split("+")):
+                crashed.append(int(label) if label.lstrip("-").isdigit() else label)
+        else:
+            raise ValueError(
+                f"unknown fault knob {key!r}; use drop=<p> and/or crash=<v>+<v>"
+            )
+    return FaultPlan(drop_probability=drop, crashed=tuple(crashed))
+
+
 def measured_ratio(size: int, optimum_size: int) -> float:
     """|ALG| / |OPT| with the shared empty-optimum convention (cf.
     :class:`repro.analysis.ratio.RatioReport`): 1.0 when both are

@@ -30,7 +30,6 @@ import warnings
 
 from repro.analysis.tables import format_table
 from repro.api import (
-    FaultPlan,
     RunConfig,
     SimulationSpec,
     UnsupportedModeError,
@@ -41,7 +40,7 @@ from repro.api import (
     solve,
     solve_many,
 )
-from repro.api.config import SOLVER_BACKENDS
+from repro.api.config import SOLVER_BACKENDS, parse_faults, run_config_from_options
 from repro.api.simulation import ID_SCHEMES
 from repro.graphs.families import FAMILIES, get_family
 from repro.io import run_report_to_dict, sim_report_to_dict
@@ -148,6 +147,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident job-queue service (REST/JSON API over "
+        "solve_many/simulate_many; kernels and OPT caches stay warm "
+        "across requests)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="resident worker threads (threads share the kernel/OPT caches)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="bounded job queue; a full queue answers 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job execution budget (cooperative cancellation "
+        "between instance x algorithm units; jobs may override it)",
+    )
+    serve.add_argument(
+        "--result-capacity", type=int, default=256,
+        help="finished jobs kept in the in-memory ring buffer",
+    )
+    serve.add_argument(
+        "--result-dir", default=None, metavar="DIR",
+        help="spill evicted results to this directory so they survive "
+        "ring-buffer recycling",
+    )
+
     algorithms = sub.add_parser("algorithms", help="list registered algorithms")
     algorithms.add_argument("--problem", default=None, choices=["mds", "mvc"])
     algorithms.add_argument("--json", action="store_true", help="emit specs as JSON")
@@ -180,9 +210,7 @@ def _instance(args):
 
 def _cmd_run(args) -> int:
     graph, meta = _instance(args)
-    config = RunConfig(
-        mode="simulate" if args.simulate else "fast", validate="ratio"
-    )
+    config = run_config_from_options(simulate=args.simulate)
     try:
         report = solve(graph, args.algorithm, config, meta=meta)
     except UnsupportedModeError as error:
@@ -209,26 +237,6 @@ def _cmd_run(args) -> int:
     return 0 if report.valid else 1
 
 
-def _parse_faults(text: str | None) -> FaultPlan | None:
-    """Parse the ``--faults`` plan: ``drop=<p>`` and/or ``crash=<v>+<v>``."""
-    if text is None:
-        return None
-    drop = 0.0
-    crashed: list = []
-    for part in filter(None, (p.strip() for p in text.split(","))):
-        key, _, value = part.partition("=")
-        if key == "drop":
-            drop = float(value)
-        elif key == "crash":
-            for label in filter(None, value.split("+")):
-                crashed.append(int(label) if label.lstrip("-").isdigit() else label)
-        else:
-            raise ValueError(
-                f"unknown fault knob {key!r}; use drop=<p> and/or crash=<v>+<v>"
-            )
-    return FaultPlan(drop_probability=drop, crashed=tuple(crashed))
-
-
 def _display_sorted(vertices) -> list:
     """Sort a vertex set naturally for display, repr-sorting mixed types."""
     try:
@@ -240,7 +248,7 @@ def _display_sorted(vertices) -> list:
 def _cmd_simulate(args) -> int:
     graph, meta = _instance(args)
     try:
-        faults = _parse_faults(args.faults)
+        faults = parse_faults(args.faults)
         spec = SimulationSpec(
             algorithm=args.algorithm,
             model=args.model,
@@ -313,8 +321,8 @@ def _cmd_compare(args) -> int:
     graph, meta = _instance(args)
     # The per-instance OPT cache inside solve_many shares one exact
     # solve across every algorithm — no hand-rolled reuse needed.
-    config = RunConfig(
-        validate="ratio", solver=args.solver, opt_cache=not args.no_opt_cache
+    config = run_config_from_options(
+        solver=args.solver, opt_cache=not args.no_opt_cache
     )
     reports = solve_many(
         [(meta, graph)],
@@ -360,12 +368,11 @@ def _cmd_lint(args) -> int:
         return 2
     findings = lint_paths(args.paths, select=select)
     if args.json:
+        from repro.io import counted_payload
+
         print(
             json.dumps(
-                {
-                    "findings": [f.to_dict() for f in findings],
-                    "count": len(findings),
-                },
+                counted_payload("findings", [f.to_dict() for f in findings]),
                 indent=1,
             )
         )
@@ -379,6 +386,35 @@ def _cmd_lint(args) -> int:
         )
         return 2
     print(f"clean: {', '.join(args.paths)}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    # Imported here so every other subcommand stays a plain batch tool.
+    from repro.serve import ReproHTTPServer, ReproService
+
+    service = ReproService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout=args.job_timeout,
+        result_capacity=args.result_capacity,
+        result_dir=args.result_dir,
+    )
+    server = ReproHTTPServer((args.host, args.port), service)
+    service.start()
+    host, port = server.server_address[:2]
+    print(
+        f"repro serve listening on http://{host}:{port} "
+        f"(workers={args.workers}, queue-depth={args.queue_depth})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
     return 0
 
 
@@ -444,6 +480,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "algorithms":
         return _cmd_algorithms(args)
     if args.command == "families":

@@ -300,6 +300,17 @@ def load_run_reports(path: str | Path) -> "list[RunReport]":
     return [run_report_from_dict(d) for d in json.loads(Path(path).read_text())]
 
 
+def counted_payload(key: str, items: list, **extra: object) -> dict:
+    """The shared counted-list JSON envelope: ``{key: items, "count": n}``.
+
+    One shape for every "list of things plus how many" payload, so
+    consumers parse them uniformly: ``repro lint --json`` reports its
+    findings with it, and the serve ``GET /stats`` endpoint reports the
+    observable job queue with it (plus ``capacity`` as an extra).
+    """
+    return {key: list(items), "count": len(items), **extra}
+
+
 def _jsonable(value: object) -> bool:
     try:
         json.dumps(value)

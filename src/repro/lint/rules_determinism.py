@@ -4,7 +4,7 @@ Reports are byte-deterministic by contract: ``solve_many`` with
 ``workers=4`` must emit JSON byte-identical to a serial run, modulo the
 sanctioned ``wall_time`` slots.  Three leak classes are checked in the
 report-producing modules (``io``, ``cli``, ``experiments/``,
-``analysis/tables``, ``api/runner``, ``api/simulation``):
+``analysis/tables``, ``api/runner``, ``api/simulation``, ``serve/``):
 
 * iterating a ``set``/``frozenset`` (arbitrary order) straight into
   output — a ``for`` loop, comprehension, ``list()``/``tuple()``
@@ -42,6 +42,9 @@ REPORT_MODULE_MARKERS = (
     "/analysis/tables.py",
     "/api/runner.py",
     "/api/simulation.py",
+    # The serve subsystem emits job reports whose JSON must be
+    # byte-identical to the direct batch runners' output.
+    "/serve/",
 )
 
 _TIME_CALLS = {

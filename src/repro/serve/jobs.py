@@ -1,0 +1,180 @@
+"""Job lifecycle primitives: records, the bounded queue, the result store.
+
+A job moves through ``queued -> running -> completed | failed |
+cancelled``; every transition is recorded on the :class:`Job` so the
+status endpoint can always answer *where a job is and why* — lifecycle
+observability is part of the service contract, not best-effort.
+
+The queue is **bounded**: a full queue raises :class:`QueueFullError`,
+which the HTTP layer maps to ``429`` + ``Retry-After`` — backpressure
+is the client's signal, never silent queue growth.  The result store is
+a **ring buffer**: only finished jobs count against its capacity, and
+evicted records optionally spill to a directory so results survive
+recycling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+
+#: Terminal states: the job will never run (again) and its record is
+#: owned by the result store.
+FINISHED_STATES = ("completed", "failed", "cancelled")
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue rejected a submission (backpressure)."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"job queue is full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One submitted job: spec, lifecycle state, and (later) reports."""
+
+    id: str
+    kind: str
+    """``"solve"`` or ``"simulate"``."""
+    parsed: object
+    """The :class:`~repro.serve.schema.ParsedJob` to execute."""
+    timeout: float | None = None
+    state: str = "queued"
+    error: str | None = None
+    reports: list | None = None
+    """JSON-ready report dicts once completed (``None`` otherwise)."""
+    wall_time: float = 0.0
+    """Execution seconds (0.0 until the job has run)."""
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def status(self) -> dict:
+        """The JSON-ready status record (``GET /jobs/{id}``)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "error": self.error,
+            "cancel_requested": self.cancel_event.is_set(),
+            "tasks": self.parsed.task_count,
+            "wall_time": self.wall_time,
+        }
+
+
+class JobQueue:
+    """A bounded FIFO of job ids with blocking pop and mid-queue removal."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be positive")
+        self.depth = depth
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._ids: deque[str] = deque()
+        self._closed = False
+
+    def put(self, job_id: str, retry_after: int = 1) -> None:
+        """Enqueue, or raise :class:`QueueFullError` when at capacity."""
+        with self._lock:
+            if len(self._ids) >= self.depth:
+                raise QueueFullError(len(self._ids), retry_after)
+            self._ids.append(job_id)
+            self._ready.notify()
+
+    def get(self) -> str | None:
+        """Block for the next job id; ``None`` once closed and drained."""
+        with self._ready:
+            while not self._ids and not self._closed:
+                self._ready.wait()
+            if self._ids:
+                return self._ids.popleft()
+            return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued id (cancellation); False if already popped."""
+        with self._lock:
+            try:
+                self._ids.remove(job_id)
+                return True
+            except ValueError:
+                return False
+
+    def close(self) -> None:
+        """Wake every blocked :meth:`get` with ``None`` (shutdown)."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    def snapshot(self) -> list[str]:
+        """Queued ids in order (the observable queue for ``/stats``)."""
+        with self._lock:
+            return list(self._ids)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ids)
+
+
+class ResultStore:
+    """Ring buffer of finished-job records with optional disk spill.
+
+    ``put`` keeps at most ``capacity`` records in memory; the oldest is
+    evicted first and — when a spill directory is configured — written
+    to ``<dir>/<job_id>.json`` so ``get`` can still serve it after
+    recycling.  Records are the full JSON payload
+    ``{"job": <status dict>, "reports": <report dicts or null>}``.
+    """
+
+    def __init__(self, capacity: int = 256, spill_dir: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("result capacity must be positive")
+        self.capacity = capacity
+        self.spill_dir = None if spill_dir is None else Path(spill_dir)
+        self._lock = threading.Lock()
+        self._records: "OrderedDict[str, dict]" = OrderedDict()
+        self._spilled = 0
+
+    def put(self, job_id: str, record: dict) -> None:
+        with self._lock:
+            self._records[job_id] = record
+            while len(self._records) > self.capacity:
+                evicted_id, evicted = self._records.popitem(last=False)
+                self._spill(evicted_id, evicted)
+
+    def _spill(self, job_id: str, record: dict) -> None:
+        if self.spill_dir is None:
+            return
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self.spill_dir / f"{job_id}.json"
+        path.write_text(json.dumps(record, indent=1))
+        self._spilled += 1
+
+    def get(self, job_id: str) -> dict | None:
+        """The stored record — from memory, else from the spill dir."""
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is not None:
+            return record
+        if self.spill_dir is not None:
+            path = self.spill_dir / f"{job_id}.json"
+            if path.exists():
+                return json.loads(path.read_text())
+        return None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "stored": len(self._records),
+                "capacity": self.capacity,
+                "spilled": self._spilled,
+                "spill_dir": None if self.spill_dir is None else str(self.spill_dir),
+            }

@@ -1,0 +1,325 @@
+"""The resident service: queue + worker pool + result store, glued.
+
+:class:`ReproService` owns the whole job lifecycle: ``submit`` parses
+and enqueues (backpressure via :class:`~repro.serve.jobs.QueueFullError`),
+resident worker **threads** execute jobs instance-major through the
+same :func:`repro.api.solve` / :func:`repro.api.simulate` calls the
+batch runners use, and finished records move to the ring-buffer
+:class:`~repro.serve.jobs.ResultStore`.  Workers are threads — not
+processes — so every job shares one kernel cache, one OPT cache, and
+one resident :class:`~repro.serve.instances.InstanceCache`; that
+sharing is the entire point of the service (see the package docstring
+for the thread-safety argument).
+
+Cancellation and timeouts are **cooperative**: the worker checks the
+job's cancel flag and execution deadline between instance-major units
+(one unit = one ``instance x algorithm`` / ``instance x spec`` run), so
+a single long unit finishes before the job transitions.  Reports are
+serialised to their JSON dict form as they are produced; the stored
+payload for a completed job is exactly what
+:func:`repro.io.save_run_reports` / :func:`repro.io.save_sim_reports`
+would have written for the equivalent direct batch call — byte-identical
+modulo the sanctioned ``wall_time`` fields.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.runner import solve
+from repro.api.simulation import simulate
+from repro.io import counted_payload, run_report_to_dict, sim_report_to_dict
+from repro.serve.instances import InstanceCache
+from repro.serve.jobs import Job, JobQueue, ResultStore
+from repro.serve.schema import ParsedJob, parse_job
+from repro.solvers import opt_cache
+
+
+class _JobCancelled(Exception):
+    """Internal control flow: the job's cancel flag was observed."""
+
+
+class _JobTimeout(Exception):
+    """Internal control flow: the job's execution budget ran out."""
+
+
+class ReproService:
+    """A resident job-queue service over ``solve``/``simulate``."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        queue_depth: int = 32,
+        job_timeout: float | None = None,
+        result_capacity: int = 256,
+        result_dir: str | None = None,
+        instance_capacity: int = 256,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self._queue = JobQueue(queue_depth)
+        self._store = ResultStore(result_capacity, result_dir)
+        self._instances = InstanceCache(instance_capacity)
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        self._finished = {"completed": 0, "failed": 0, "cancelled": 0}
+        self._wall_total = 0.0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        start = time.monotonic()
+        self._start_monotonic = start
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ReproService":
+        """Spawn the worker pool (idempotent).
+
+        Resets the OPT-cache counters first, so ``/stats`` reports the
+        resident process's hit rate — not import-time or test noise
+        accumulated before the service existed.
+        """
+        if self._started:
+            return self
+        opt_cache.reset_cache_stats()
+        start = time.monotonic()
+        self._start_monotonic = start
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Close the queue and join the workers (running units finish)."""
+        self._queue.close()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+        self._started = False
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission and queries ---------------------------------------------
+
+    def submit(self, payload: object) -> dict:
+        """Parse, admit, and enqueue a job; returns its status record.
+
+        Raises :class:`~repro.serve.schema.SpecError` on an invalid
+        payload (before any queue slot is taken) and
+        :class:`~repro.serve.jobs.QueueFullError` under backpressure.
+        """
+        parsed = parse_job(payload)
+        with self._cv:
+            self._seq += 1
+            job = Job(
+                id=f"j{self._seq:06d}",
+                kind=parsed.kind,
+                parsed=parsed,
+                timeout=parsed.timeout if parsed.timeout is not None else self.job_timeout,
+            )
+            self._jobs[job.id] = job
+            try:
+                self._queue.put(job.id, retry_after=self._retry_after_hint())
+            except Exception:
+                del self._jobs[job.id]
+                self._seq -= 1
+                raise
+            return job.status()
+
+    def _retry_after_hint(self) -> int:
+        """Seconds a 429'd client should wait: queue drain estimate."""
+        finished = sum(self._finished.values())
+        wall_avg = self._wall_total / finished if finished else 1.0
+        drain = wall_avg * (len(self._queue) + 1) / max(1, self.workers)
+        return max(1, round(drain))
+
+    def status(self, job_id: str) -> dict | None:
+        """The status record of an active or finished job, else None."""
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.status()
+        record = self._store.get(job_id)
+        return None if record is None else record["job"]
+
+    def result(self, job_id: str) -> dict | None:
+        """The full record ``{"job": ..., "reports": ...}``.
+
+        ``reports`` is ``None`` until the job completes (and for failed
+        or cancelled jobs); unknown ids return ``None``.
+        """
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return {"job": job.status(), "reports": None}
+        return self._store.get(job_id)
+
+    def cancel(self, job_id: str) -> dict | None:
+        """Request cancellation; returns the (possibly updated) status.
+
+        A job still in the queue transitions to ``cancelled``
+        immediately; a running job transitions at its next unit
+        boundary; a finished job is returned unchanged.
+        """
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None:
+                record = self._store.get(job_id)
+                return None if record is None else record["job"]
+            job.cancel_event.set()
+            if job.state == "queued" and self._queue.remove(job_id):
+                self._finish_locked(job, "cancelled")
+        return self.status(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict | None:
+        """Block until the job leaves the active set; returns its status."""
+        start = time.monotonic()
+        with self._cv:
+            while job_id in self._jobs:
+                if timeout is None:
+                    self._cv.wait()
+                    continue
+                elapsed = time.monotonic() - start
+                if elapsed >= timeout:
+                    break
+                self._cv.wait(timeout - elapsed)
+        return self.status(job_id)
+
+    def healthz(self) -> dict:
+        elapsed = time.monotonic() - self._start_monotonic
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "uptime_s": round(elapsed, 3),
+        }
+
+    def stats(self) -> dict:
+        """Queue/cache/result metrics (the ``GET /stats`` payload).
+
+        The ``queue`` section uses the same counted-payload envelope as
+        ``repro lint --json`` (:func:`repro.io.counted_payload`), and
+        ``opt_cache`` is the lock-consistent
+        :func:`repro.solvers.opt_cache.snapshot` — reflecting this
+        resident process only, because :meth:`start` reset the counters.
+        """
+        elapsed = time.monotonic() - self._start_monotonic
+        with self._cv:
+            active = [job.status() for job in self._jobs.values()]
+            finished = dict(self._finished)
+            submitted = self._seq
+            wall_total = self._wall_total
+        states = dict.fromkeys(("queued", "running"), 0)
+        for record in active:
+            states[record["state"]] = states.get(record["state"], 0) + 1
+        return {
+            "uptime_s": round(elapsed, 3),
+            "workers": self.workers,
+            "queue": counted_payload(
+                "queued", self._queue.snapshot(), capacity=self._queue.depth
+            ),
+            "jobs": {"submitted": submitted, **states, **finished},
+            "wall_time_total": round(wall_total, 6),
+            "opt_cache": opt_cache.snapshot(),
+            "instances": self._instances.stats(),
+            "results": self._store.stats(),
+        }
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._cv:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    continue
+                if job.cancel_event.is_set():
+                    self._finish_locked(job, "cancelled")
+                    continue
+                job.state = "running"
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        start = time.monotonic()
+        reports: list[dict] = []
+        state, error = "completed", None
+        try:
+            for unit in self._units(job.parsed):
+                self._checkpoint(job, start)
+                reports.append(unit())
+        except _JobCancelled:
+            state = "cancelled"
+        except _JobTimeout as exc:
+            state, error = "failed", str(exc)
+        except Exception as exc:  # noqa: BLE001 — a job must never kill its worker
+            state, error = "failed", f"{type(exc).__name__}: {exc}"
+        wall = time.monotonic() - start
+        with self._cv:
+            job.wall_time = round(wall, 6)
+            if state == "completed":
+                job.reports = reports
+            self._finish_locked(job, state, error)
+
+    def _units(self, parsed: ParsedJob):
+        """Instance-major unit thunks, in the batch runners' order.
+
+        One unit is one ``instance x algorithm`` (solve) or ``instance
+        x spec`` (simulate) run — exactly the serial iteration order of
+        ``solve_many``/``simulate_many``, so the concatenated reports
+        match the direct batch output.
+        """
+        for ref in parsed.instances:
+            meta, graph = ref.resolve(self._instances)
+            if parsed.kind == "solve":
+                for name in parsed.algorithms:
+                    yield lambda g=graph, n=name, m=meta: run_report_to_dict(
+                        solve(g, n, parsed.config, meta=m)
+                    )
+            else:
+                for spec in parsed.specs:
+                    yield lambda g=graph, s=spec, m=meta: sim_report_to_dict(
+                        simulate(g, s, meta=m)
+                    )
+
+    def _checkpoint(self, job: Job, start: float) -> None:
+        """Cooperative cancellation + timeout, between units."""
+        if job.cancel_event.is_set():
+            raise _JobCancelled()
+        if job.timeout is None:
+            return
+        elapsed = time.monotonic() - start
+        if elapsed >= job.timeout:
+            raise _JobTimeout(
+                f"timed out after {elapsed:.3f}s "
+                f"(limit {job.timeout}s, cooperative between units)"
+            )
+
+    def _finish_locked(self, job: Job, state: str, error: str | None = None) -> None:
+        """Transition to a terminal state and hand off to the store.
+
+        Caller holds ``self._cv``.
+        """
+        job.state = state
+        job.error = error
+        self._store.put(job.id, {"job": job.status(), "reports": job.reports})
+        del self._jobs[job.id]
+        self._finished[state] += 1
+        self._wall_total += job.wall_time
+        self._cv.notify_all()

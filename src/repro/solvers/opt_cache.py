@@ -27,6 +27,7 @@ enabling the cache can never change a reported ``ratio`` or
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Hashable
 
@@ -41,6 +42,10 @@ PROBLEMS = ("mds", "mvc")
 _CACHE: "weakref.WeakKeyDictionary[nx.Graph, dict]" = weakref.WeakKeyDictionary()
 register_derived_cache(_CACHE)
 
+# The counters are read-modify-write pairs, so they need a real lock:
+# the serve worker pool (`repro.serve`) drives this module from several
+# threads at once, and `hits += 1` is not atomic across them.
+_STATS_LOCK = threading.Lock()
 _STATS = {"hits": 0, "misses": 0}
 
 
@@ -93,9 +98,11 @@ def optimum_solution(
     key = (problem, solver)
     solution = entry["solutions"].get(key)
     if solution is not None:
-        _STATS["hits"] += 1
+        with _STATS_LOCK:
+            _STATS["hits"] += 1
         return solution
-    _STATS["misses"] += 1
+    with _STATS_LOCK:
+        _STATS["misses"] += 1
     solution = _solve(graph, problem, solver)
     entry["solutions"][key] = solution
     return solution
@@ -117,11 +124,22 @@ def clear_opt_cache() -> None:
     _CACHE.clear()
 
 
+def snapshot() -> dict[str, int]:
+    """A consistent copy of the hit/miss counters.
+
+    Taken under the stats lock so a concurrent solve never yields a
+    torn read; this is what the serve ``GET /stats`` endpoint reports.
+    """
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
 def cache_stats() -> dict[str, int]:
     """Process-wide hit/miss counters (reset with :func:`reset_cache_stats`)."""
-    return dict(_STATS)
+    return snapshot()
 
 
 def reset_cache_stats() -> None:
-    _STATS["hits"] = 0
-    _STATS["misses"] = 0
+    with _STATS_LOCK:
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0

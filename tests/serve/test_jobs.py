@@ -1,0 +1,94 @@
+"""Unit tests for the job-lifecycle primitives (queue + result store)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.jobs import JobQueue, QueueFullError, ResultStore
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        queue = JobQueue(depth=4)
+        for job_id in ("a", "b", "c"):
+            queue.put(job_id)
+        assert [queue.get(), queue.get(), queue.get()] == ["a", "b", "c"]
+
+    def test_put_full_raises_with_retry_hint(self):
+        queue = JobQueue(depth=2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put("c", retry_after=7)
+        assert excinfo.value.retry_after == 7
+        assert excinfo.value.depth == 2
+        assert "full" in str(excinfo.value)
+
+    def test_remove_mid_queue(self):
+        queue = JobQueue(depth=4)
+        queue.put("a")
+        queue.put("b")
+        queue.put("c")
+        assert queue.remove("b") is True
+        assert queue.remove("b") is False
+        assert queue.snapshot() == ["a", "c"]
+
+    def test_close_wakes_blocked_get(self):
+        queue = JobQueue(depth=1)
+        got = []
+        thread = threading.Thread(target=lambda: got.append(queue.get()))
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_drains_before_reporting_closed(self):
+        queue = JobQueue(depth=2)
+        queue.put("a")
+        queue.close()
+        assert queue.get() == "a"
+        assert queue.get() is None
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JobQueue(depth=0)
+
+
+class TestResultStore:
+    def _record(self, job_id, state="completed"):
+        return {"job": {"id": job_id, "state": state}, "reports": [{"r": job_id}]}
+
+    def test_get_roundtrip(self):
+        store = ResultStore(capacity=4)
+        store.put("j1", self._record("j1"))
+        assert store.get("j1")["job"]["id"] == "j1"
+        assert store.get("nope") is None
+
+    def test_ring_eviction_without_spill(self):
+        store = ResultStore(capacity=2)
+        for job_id in ("j1", "j2", "j3"):
+            store.put(job_id, self._record(job_id))
+        assert store.get("j1") is None  # evicted, no spill dir
+        assert store.get("j2") is not None
+        assert store.get("j3") is not None
+        assert store.stats()["stored"] == 2
+        assert store.stats()["spilled"] == 0
+
+    def test_evicted_records_spill_to_disk(self, tmp_path):
+        store = ResultStore(capacity=1, spill_dir=tmp_path / "results")
+        store.put("j1", self._record("j1"))
+        store.put("j2", self._record("j2"))
+        # j1 was evicted but survives on disk, byte-for-byte as JSON.
+        assert store.get("j1")["reports"] == [{"r": "j1"}]
+        spilled = tmp_path / "results" / "j1.json"
+        assert spilled.exists()
+        assert json.loads(spilled.read_text()) == self._record("j1")
+        assert store.stats()["spilled"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultStore(capacity=0)

@@ -1,0 +1,286 @@
+"""Service-level lifecycle tests: the acceptance contract of `repro serve`.
+
+The two load-bearing properties:
+
+* **byte identity** — a completed job's stored reports are exactly the
+  JSON the direct ``solve_many``/``simulate_many`` call produces,
+  modulo the sanctioned ``wall_time`` fields;
+* **residency** — a second job on the same instance family reuses the
+  resident kernels and cached optima, observable as OPT-cache hits
+  with zero new misses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import SimulationSpec, simulate_many, solve_many
+from repro.api.config import run_config_from_options
+from repro.graphs.families import get_family
+from repro.io import run_report_to_dict, sim_report_to_dict
+from repro.serve import QueueFullError, ReproService, SpecError
+
+
+def _strip_wall(obj):
+    """Drop every ``wall_time`` field, recursively (the sanctioned delta)."""
+    if isinstance(obj, dict):
+        return {k: _strip_wall(v) for k, v in obj.items() if k != "wall_time"}
+    if isinstance(obj, list):
+        return [_strip_wall(v) for v in obj]
+    return obj
+
+
+def _run_to_completion(service, payload, timeout=60.0):
+    job = service.submit(payload)
+    status = service.wait(job["id"], timeout=timeout)
+    assert status is not None, "job record vanished"
+    return status, service.result(job["id"])
+
+
+def _direct_solve_payload(instances, algorithms, config):
+    pairs = [
+        ({"family": f, "size": n, "seed": s}, get_family(f).make(n, s))
+        for f, n, s in instances
+    ]
+    return [run_report_to_dict(r) for r in solve_many(pairs, algorithms, config)]
+
+
+@pytest.fixture
+def service():
+    with ReproService(workers=2, queue_depth=16) as svc:
+        yield svc
+
+
+class TestSolveLifecycle:
+    def test_submit_poll_result_byte_identical_to_solve_many(self, service):
+        instances = [("fan", 14, 0), ("ladder", 8, 1)]
+        algorithms = ["d2", "greedy"]
+        payload = {
+            "kind": "solve",
+            "instances": [
+                {"family": f, "size": n, "seed": s} for f, n, s in instances
+            ],
+            "algorithms": algorithms,
+            "validate": "ratio",
+        }
+        status, record = _run_to_completion(service, payload)
+        assert status["state"] == "completed"
+        assert status["error"] is None
+        assert status["wall_time"] > 0
+
+        direct = _direct_solve_payload(
+            instances, algorithms, run_config_from_options(validate="ratio")
+        )
+        served = record["reports"]
+        assert json.dumps(_strip_wall(served), indent=1) == json.dumps(
+            _strip_wall(direct), indent=1
+        )
+
+    def test_simulate_job_matches_simulate_many(self, service):
+        spec = SimulationSpec(algorithm="d2", model="congest", budget=8, seed=2)
+        payload = {
+            "kind": "simulate",
+            "instances": [{"family": "tree", "size": 12, "seed": 2}],
+            "specs": [
+                {"algorithm": "d2", "model": "congest", "budget": 8, "seed": 2}
+            ],
+        }
+        status, record = _run_to_completion(service, payload)
+        assert status["state"] == "completed"
+
+        graph = get_family("tree").make(12, 2)
+        meta = {"family": "tree", "size": 12, "seed": 2}
+        direct = [
+            sim_report_to_dict(r) for r in simulate_many([(meta, graph)], [spec])
+        ]
+        # Simulation reports carry no wall-clock fields at all, so the
+        # serve payload is byte-identical, full stop.
+        assert json.dumps(record["reports"], indent=1) == json.dumps(direct, indent=1)
+
+    def test_second_job_reuses_resident_kernels(self, service):
+        """Acceptance: residency observable via opt_cache stats."""
+        payload = {
+            "kind": "solve",
+            "instances": [
+                {"family": "fan", "size": 16, "seed": 0},
+                {"family": "fan", "size": 20, "seed": 0},
+            ],
+            "algorithms": ["d2", "greedy"],
+            "validate": "ratio",
+        }
+        status1, _ = _run_to_completion(service, payload)
+        assert status1["state"] == "completed"
+        cold = service.stats()["opt_cache"]
+        # Two instances: one exact solve each; the second algorithm's
+        # ratio is already a within-job cache hit.
+        assert cold["misses"] == 2
+
+        status2, _ = _run_to_completion(service, payload)
+        assert status2["state"] == "completed"
+        warm = service.stats()["opt_cache"]
+        assert warm["misses"] == cold["misses"], "warm job re-solved OPT"
+        assert warm["hits"] == cold["hits"] + 4, "warm job missed the resident cache"
+
+        instances = service.stats()["instances"]
+        assert instances["resident"] == 2
+        assert instances["hits"] >= 2  # second job resolved resident graphs
+
+    def test_identical_inline_and_family_instances_agree(self, service):
+        from repro.io import graph_to_dict
+
+        graph = get_family("fan").make(12, 0)
+        family_payload = {
+            "kind": "solve",
+            "instances": [{"family": "fan", "size": 12, "seed": 0}],
+            "algorithms": ["d2"],
+            "validate": "ratio",
+        }
+        inline_payload = {
+            "kind": "solve",
+            "instances": [{"graph": graph_to_dict(graph)}],
+            "algorithms": ["d2"],
+            "validate": "ratio",
+        }
+        _, family_record = _run_to_completion(service, family_payload)
+        _, inline_record = _run_to_completion(service, inline_payload)
+        f_report, i_report = family_record["reports"][0], inline_record["reports"][0]
+        # Instance metadata differs (family provenance vs bare n/m);
+        # every computed field agrees.
+        for key in ("result", "valid", "optimum_size", "ratio"):
+            assert f_report[key] == i_report[key]
+
+
+class TestFailureModes:
+    def test_timeout_fails_with_reason(self, service):
+        payload = {
+            "kind": "solve",
+            "instances": [{"family": "fan", "size": 12}],
+            "algorithms": ["d2"],
+            "timeout": 0.0,
+        }
+        status, record = _run_to_completion(service, payload)
+        assert status["state"] == "failed"
+        assert "timed out" in status["error"]
+        assert record["reports"] is None
+
+    def test_runtime_error_fails_with_reason(self, service):
+        # A crashed vertex outside the graph passes schema validation
+        # (graph-independent) but the engine rejects it at run time.
+        payload = {
+            "kind": "simulate",
+            "instances": [{"family": "fan", "size": 10}],
+            "specs": [
+                {
+                    "algorithm": "d2",
+                    "faults": {"drop_probability": 0.0, "crashed": [999]},
+                }
+            ],
+        }
+        status, _ = _run_to_completion(service, payload)
+        assert status["state"] == "failed"
+        assert status["error"].startswith("ValueError")
+        assert "crashed vertices" in status["error"]
+
+    def test_malformed_spec_rejected_before_queueing(self, service):
+        with pytest.raises(SpecError):
+            service.submit({"kind": "solve", "instances": []})
+        assert service.stats()["jobs"]["submitted"] == 0
+
+    def test_job_default_timeout_from_service(self):
+        with ReproService(workers=1, job_timeout=0.0) as svc:
+            status, _ = _run_to_completion(
+                svc,
+                {
+                    "kind": "solve",
+                    "instances": [{"family": "fan", "size": 10}],
+                    "algorithms": ["d2"],
+                },
+            )
+            assert status["state"] == "failed"
+            assert "timed out" in status["error"]
+
+
+class TestQueueAndCancel:
+    def test_cancel_mid_queue(self):
+        # No workers: submissions stay queued, so cancellation is
+        # deterministic.
+        service = ReproService(workers=0, queue_depth=4).start()
+        payload = {
+            "kind": "solve",
+            "instances": [{"family": "fan", "size": 10}],
+            "algorithms": ["d2"],
+        }
+        job = service.submit(payload)
+        assert service.status(job["id"])["state"] == "queued"
+        cancelled = service.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        record = service.result(job["id"])
+        assert record["job"]["state"] == "cancelled"
+        assert record["reports"] is None
+        assert service.stats()["queue"]["count"] == 0
+        service.stop()
+
+    def test_queue_full_backpressure(self):
+        service = ReproService(workers=0, queue_depth=2).start()
+        payload = {
+            "kind": "solve",
+            "instances": [{"family": "fan", "size": 10}],
+            "algorithms": ["d2"],
+        }
+        service.submit(payload)
+        service.submit(payload)
+        with pytest.raises(QueueFullError) as excinfo:
+            service.submit(payload)
+        assert excinfo.value.retry_after >= 1
+        # Backpressure rejected the job entirely: nothing was admitted.
+        assert service.stats()["jobs"]["submitted"] == 2
+        # Cancelling a queued job frees a slot.
+        queued = service.stats()["queue"]["queued"]
+        service.cancel(queued[0])
+        service.submit(payload)
+        service.stop()
+
+    def test_cancel_unknown_job(self, service):
+        assert service.cancel("j999999") is None
+
+
+class TestConcurrentSubmitters:
+    def test_isolated_results(self):
+        sizes = [10, 12, 14, 16]
+        with ReproService(workers=3, queue_depth=16) as service:
+            results: dict[int, dict] = {}
+            errors: list[BaseException] = []
+
+            def submit_and_wait(size):
+                try:
+                    payload = {
+                        "kind": "solve",
+                        "instances": [{"family": "fan", "size": size, "seed": 0}],
+                        "algorithms": ["d2", "greedy"],
+                        "validate": "ratio",
+                    }
+                    status, record = _run_to_completion(service, payload)
+                    assert status["state"] == "completed"
+                    results[size] = record["reports"]
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submit_and_wait, args=(size,))
+                for size in sizes
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            for size in sizes:
+                direct = _direct_solve_payload(
+                    [("fan", size, 0)],
+                    ["d2", "greedy"],
+                    run_config_from_options(validate="ratio"),
+                )
+                assert _strip_wall(results[size]) == _strip_wall(direct)
