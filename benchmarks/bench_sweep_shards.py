@@ -1,0 +1,255 @@
+"""Sweep benchmark: sharding overhead + crash-recovery cost.
+
+Writes ``benchmarks/BENCH_sweep_shards.json``:
+
+* ``overhead`` — the price of crash-safety when nothing crashes: one
+  workload through direct :func:`repro.api.solve_many` (process pool,
+  no checkpoints) vs the same workload through
+  :func:`repro.sweep.run_sweep` (manifest + per-shard atomic
+  checkpoints + merge).  The merged reports must agree byte-for-byte
+  (modulo ``wall_time``), and the sharded run must stay within 10% of
+  direct on the full workload;
+* ``kill_recovery`` — the same sweep with the fault harness SIGKILLing
+  every worker on its first attempt (``kill=1.0,attempts=1``): every
+  shard's pool breaks once and is rebuilt, retries re-execute, and the
+  merged output still agrees with the direct run;
+* ``death_recovery`` — driver death after the first checkpoint
+  (``die=1.0``) followed by ``resume_sweep``: resume must re-execute
+  only the missing shards and reproduce the direct reports.
+
+Run as a script for the CI smoke (``python
+benchmarks/bench_sweep_shards.py --quick``) or in full to regenerate
+``BENCH_sweep_shards.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import RunConfig, solve_many
+from repro.graphs.families import get_family
+from repro.io import run_report_to_dict
+from repro.sweep import (
+    FaultInjector,
+    SimulatedProcessDeath,
+    parse_fault_spec,
+    resume_sweep,
+    run_sweep,
+)
+
+RESULT_PATH = Path(__file__).parent / "BENCH_sweep_shards.json"
+
+ALGORITHMS = ["d2", "greedy"]
+WORKERS = 2
+SHARD_SIZE = 2
+NO_SLEEP = {"sleep": lambda seconds: None}
+
+
+def _instances(quick: bool):
+    # Full sizes are big enough that solve time dominates the fixed
+    # manifest/checkpoint costs the overhead section is pricing.
+    sizes = [14, 18] if quick else [800, 1200, 1600]
+    seeds = (0, 1)
+    pairs = []
+    for size in sizes:
+        for seed in seeds:
+            pairs.append(
+                (
+                    {"family": "fan", "size": size, "seed": seed},
+                    get_family("fan").make(size, seed),
+                )
+            )
+    return pairs
+
+
+def _config() -> RunConfig:
+    return RunConfig(validate="ratio")
+
+
+def _canonical(report_dicts: list[dict]) -> str:
+    stripped = copy.deepcopy(report_dicts)
+    for report in stripped:
+        report.pop("wall_time", None)
+    return json.dumps(stripped, sort_keys=True)
+
+
+def _sweep(instances, run_dir, *, faults=None, **options):
+    injector = FaultInjector(parse_fault_spec(faults)) if faults else None
+    options.setdefault("workers", WORKERS)
+    return run_sweep(
+        instances,
+        run_dir=run_dir,
+        algorithms=ALGORITHMS,
+        config=_config(),
+        shard_size=SHARD_SIZE,
+        injector=injector,
+        **NO_SLEEP,
+        **options,
+    )
+
+
+# -- sections ---------------------------------------------------------------
+
+
+def measure_overhead(instances, direct_canonical: str, tmp: Path) -> dict:
+    start = time.perf_counter()
+    direct = solve_many(instances, ALGORITHMS, _config(), workers=WORKERS)
+    direct_s = time.perf_counter() - start
+    assert _canonical([run_report_to_dict(r) for r in direct]) == direct_canonical
+
+    start = time.perf_counter()
+    result = _sweep(instances, tmp / "overhead")
+    sharded_s = time.perf_counter() - start
+    return {
+        "instances": len(instances),
+        "shards": result.total_shards,
+        "direct_s": round(direct_s, 6),
+        "sharded_s": round(sharded_s, 6),
+        "overhead_pct": round(100.0 * (sharded_s - direct_s) / direct_s, 2),
+        "agree": _canonical(result.report_dicts()) == direct_canonical,
+    }
+
+
+def measure_kill_recovery(instances, direct_canonical: str, tmp: Path) -> dict:
+    start = time.perf_counter()
+    result = _sweep(instances, tmp / "kill", faults="kill=1.0,attempts=1")
+    total_s = time.perf_counter() - start
+    return {
+        "shards": result.total_shards,
+        "retries": result.retries,
+        "complete": result.complete,
+        "total_s": round(total_s, 6),
+        "agree": result.complete
+        and _canonical(result.report_dicts()) == direct_canonical,
+    }
+
+
+def measure_death_recovery(instances, direct_canonical: str, tmp: Path) -> dict:
+    run_dir = tmp / "death"
+    died = False
+    try:
+        _sweep(instances, run_dir, faults="die=1.0", workers=1)
+    except SimulatedProcessDeath:
+        died = True
+    start = time.perf_counter()
+    resumed = resume_sweep(run_dir, workers=WORKERS, **NO_SLEEP)
+    resume_s = time.perf_counter() - start
+    return {
+        "died_mid_run": died,
+        "shards": resumed.total_shards,
+        "resumed_shards": len(resumed.executed),
+        "resume_s": round(resume_s, 6),
+        "complete": resumed.complete,
+        "agree": resumed.complete
+        and _canonical(resumed.report_dicts()) == direct_canonical,
+    }
+
+
+def run(quick: bool) -> dict:
+    instances = _instances(quick)
+    direct_canonical = _canonical(
+        [run_report_to_dict(r) for r in solve_many(instances, ALGORITHMS, _config())]
+    )
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        return {
+            "benchmark": "sweep_shards",
+            "quick": quick,
+            "workers": WORKERS,
+            "shard_size": SHARD_SIZE,
+            "algorithms": ALGORITHMS,
+            "overhead": measure_overhead(instances, direct_canonical, tmp),
+            "kill_recovery": measure_kill_recovery(instances, direct_canonical, tmp),
+            "death_recovery": measure_death_recovery(
+                instances, direct_canonical, tmp
+            ),
+        }
+
+
+def check(result: dict, quick: bool) -> list[str]:
+    """Regression assertions; quick mode uses looser CI-safe floors."""
+    failures = []
+    overhead = result["overhead"]
+    # Tiny quick workloads are dominated by fixed pool/manifest costs,
+    # so only the full run enforces the 10% ceiling.
+    ceiling = 100.0 if quick else 10.0
+    if overhead["overhead_pct"] > ceiling:
+        failures.append(
+            f"overhead: sharded run {overhead['overhead_pct']}% over direct "
+            f"(ceiling {ceiling}%)"
+        )
+    for section in ("overhead", "kill_recovery", "death_recovery"):
+        if not result[section]["agree"]:
+            failures.append(f"{section}: merged reports differ from solve_many")
+    kill = result["kill_recovery"]
+    if not kill["complete"]:
+        failures.append("kill_recovery: sweep did not complete")
+    if kill["retries"] < kill["shards"]:
+        failures.append(
+            f"kill_recovery: expected every shard to retry once, saw "
+            f"{kill['retries']}/{kill['shards']}"
+        )
+    death = result["death_recovery"]
+    if not death["died_mid_run"]:
+        failures.append("death_recovery: injected driver death never fired")
+    if not death["complete"]:
+        failures.append("death_recovery: resume did not complete the run")
+    if death["resumed_shards"] >= death["shards"]:
+        failures.append(
+            "death_recovery: resume re-executed every shard — checkpoints "
+            "were not honoured"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload + loose floors (CI regression smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the result JSON here (default: only full runs write "
+        "BENCH_sweep_shards.json)",
+    )
+    args = parser.parse_args(argv)
+    result = run(quick=args.quick)
+    out = args.out if args.out is not None else (None if args.quick else RESULT_PATH)
+    if out is not None:
+        out.write_text(json.dumps(result, indent=1))
+    overhead = result["overhead"]
+    print(
+        f"{'overhead':>16} direct {overhead['direct_s']:.3f}s vs sharded "
+        f"{overhead['sharded_s']:.3f}s ({overhead['overhead_pct']:+.1f}%, "
+        f"{overhead['shards']} shards, agree={overhead['agree']})"
+    )
+    kill = result["kill_recovery"]
+    print(
+        f"{'kill recovery':>16} {kill['total_s']:.3f}s with "
+        f"{kill['retries']} retries over {kill['shards']} shards "
+        f"(agree={kill['agree']})"
+    )
+    death = result["death_recovery"]
+    print(
+        f"{'death recovery':>16} resumed {death['resumed_shards']}/"
+        f"{death['shards']} shards in {death['resume_s']:.3f}s "
+        f"(agree={death['agree']})"
+    )
+    failures = check(result, quick=args.quick)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,7 +42,7 @@ from repro.api.registry import (
     list_algorithms,
     register_algorithm,
 )
-from repro.api.runner import solve, solve_many
+from repro.api.runner import WorkerCrashError, solve, solve_many
 from repro.api.simulation import (
     FaultPlan,
     SimReport,
@@ -60,6 +60,7 @@ __all__ = [
     "SimulationSpec",
     "UnknownAlgorithmError",
     "UnsupportedModeError",
+    "WorkerCrashError",
     "algorithm_names",
     "engine_algorithm_names",
     "get_algorithm",

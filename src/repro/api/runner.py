@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Mapping, Sequence
 
 import networkx as nx
@@ -37,6 +38,31 @@ from repro.analysis.domination import is_dominating_set
 from repro.graphs.kernel import KernelWire, graph_from_wire, kernel_for
 from repro.solvers.opt_cache import optimum_size
 from repro.solvers.vc import is_vertex_cover
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-batch (OOM kill, SIGKILL, interpreter abort).
+
+    Raised in place of the raw :class:`concurrent.futures.process.\
+    BrokenProcessPool` so callers get an actionable record instead of a
+    bare "pool is not usable anymore": ``completed`` tasks already
+    yielded their reports in order, ``in_flight`` names the first
+    unfinished chunk (its instance metadata), and the whole batch can be
+    re-run — or, better, routed through :mod:`repro.sweep`, whose
+    dispatcher catches exactly this error, rebuilds the pool, and
+    retries only the unfinished shards.
+    """
+
+    def __init__(self, kind: str, completed: int, total: int, in_flight: object):
+        self.kind = kind
+        self.completed = completed
+        self.total = total
+        self.in_flight = in_flight
+        super().__init__(
+            f"a {kind} pool worker crashed after {completed}/{total} tasks; "
+            f"first unfinished chunk: {in_flight!r} (re-run, or use "
+            f"repro.sweep for checkpointed retry)"
+        )
 
 
 def _optimum_size(graph: nx.Graph, spec: AlgorithmSpec, config: RunConfig) -> int:
@@ -175,4 +201,14 @@ def solve_many(
         # Executor.map preserves submission order, giving parallel runs
         # the exact serial ordering.
         batches = pool.map(_solve_instance_task, tasks, chunksize=chunksize)
-        return [report for batch in batches for report in batch]
+        reports: list[RunReport] = []
+        done = 0
+        try:
+            for batch in batches:
+                reports.extend(batch)
+                done += 1
+        except BrokenProcessPool as error:
+            raise WorkerCrashError(
+                "solve", done, len(tasks), tasks[done][0]
+            ) from error
+        return reports

@@ -19,6 +19,7 @@ Reports carry **no wall-clock fields** — everything in a
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Hashable, Iterable, Sequence
 
@@ -261,5 +262,18 @@ def simulate_many(
         return [_simulate_task(task) for task in tasks]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         # Executor.map preserves submission order, giving parallel runs
-        # the exact serial ordering.
-        return list(pool.map(_simulate_task, tasks))
+        # the exact serial ordering.  A dead worker surfaces as the
+        # typed WorkerCrashError naming the first unfinished task, not
+        # as a raw BrokenProcessPool.
+        from repro.api.runner import WorkerCrashError
+
+        results = pool.map(_simulate_task, tasks)
+        reports: list[SimReport] = []
+        try:
+            for report in results:
+                reports.append(report)
+        except BrokenProcessPool as error:
+            raise WorkerCrashError(
+                "simulate", len(reports), len(tasks), tasks[len(reports)][0]
+            ) from error
+        return reports

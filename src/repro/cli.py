@@ -15,6 +15,9 @@ Examples::
     python -m repro simulate --family tree --size 15 --algorithm d2
     python -m repro simulate --family tree --size 8 --algorithm degree_two --model congest
     python -m repro simulate --family fan --size 12 --algorithm d2 --faults drop=0.2,crash=0 --json
+    python -m repro sweep run --dir runs/night --families fan,tree --sizes 14,18 --algorithms greedy,d2
+    python -m repro sweep resume --dir runs/night
+    python -m repro sweep status --dir runs/night --json
     python -m repro algorithms
     python -m repro families
     python -m repro report --scale tiny
@@ -176,6 +179,85 @@ def _build_parser() -> argparse.ArgumentParser:
         "--result-dir", default=None, metavar="DIR",
         help="spill evicted results to this directory so they survive "
         "ring-buffer recycling",
+    )
+    serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="durable job journal: accepted jobs are persisted here and "
+        "re-enqueued on the next start, so queued work survives a "
+        "service crash",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="crash-safe sharded sweeps: checkpointed shards with "
+        "retry/backoff, poison-shard quarantine, and resume-after-crash",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _dispatch_options(p):
+        p.add_argument(
+            "--workers", type=int, default=2,
+            help="pool worker processes executing shards",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=3,
+            help="attempts before a shard is quarantined",
+        )
+        p.add_argument(
+            "--shard-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-shard wall budget; a hung shard abandons the pool "
+            "and retries",
+        )
+        p.add_argument("--json", action="store_true", help="emit the result as JSON")
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="plan a new sharded sweep under --dir and execute it"
+    )
+    sweep_run.add_argument(
+        "--dir", required=True, dest="run_dir", metavar="DIR",
+        help="run directory (manifest, checkpoints, merged reports)",
+    )
+    sweep_run.add_argument(
+        "--families", default="fan",
+        help="comma-separated graph families (cross product with sizes/seeds)",
+    )
+    sweep_run.add_argument("--sizes", default="16", help="comma-separated sizes")
+    sweep_run.add_argument("--seeds", default="0", help="comma-separated seeds")
+    sweep_run.add_argument(
+        "--algorithms", default=None,
+        help="comma-separated algorithms (default: every MDS algorithm)",
+    )
+    sweep_run.add_argument(
+        "--solver", default="milp", choices=list(SOLVER_BACKENDS),
+        help="exact backend for ratio denominators",
+    )
+    sweep_run.add_argument(
+        "--shard-size", type=int, default=1,
+        help="instances per shard (each shard runs every algorithm)",
+    )
+    sweep_run.add_argument(
+        "--sweep-seed", type=int, default=0,
+        help="sweep seed (drives backoff jitter; recorded in the manifest)",
+    )
+    _dispatch_options(sweep_run)
+
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help="finish an interrupted sweep: verify checkpoints, run the rest",
+    )
+    sweep_resume.add_argument(
+        "--dir", required=True, dest="run_dir", metavar="DIR"
+    )
+    _dispatch_options(sweep_resume)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="report a run directory's progress without executing"
+    )
+    sweep_status.add_argument(
+        "--dir", required=True, dest="run_dir", metavar="DIR"
+    )
+    sweep_status.add_argument(
+        "--json", action="store_true", help="emit the status as JSON"
     )
 
     algorithms = sub.add_parser("algorithms", help="list registered algorithms")
@@ -399,6 +481,7 @@ def _cmd_serve(args) -> int:
         job_timeout=args.job_timeout,
         result_capacity=args.result_capacity,
         result_dir=args.result_dir,
+        journal_dir=args.journal_dir,
     )
     server = ReproHTTPServer((args.host, args.port), service)
     service.start()
@@ -416,6 +499,125 @@ def _cmd_serve(args) -> int:
         server.server_close()
         service.stop()
     return 0
+
+
+def _split_csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _sweep_result_payload(result) -> dict:
+    return {
+        "run_dir": str(result.run_dir),
+        "kind": result.kind,
+        "complete": result.complete,
+        "shards": result.total_shards,
+        "executed": result.executed,
+        "completed": result.completed,
+        "quarantined": result.quarantined,
+        "retries": result.retries,
+        "attempts": result.attempts,
+        "errors": result.errors,
+        "reports": str(result.reports_path) if result.reports_path else None,
+    }
+
+
+def _print_sweep_result(result, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(_sweep_result_payload(result), indent=1))
+    else:
+        print(
+            f"sweep {result.run_dir}: "
+            f"{len(result.completed)}/{result.total_shards} shards complete "
+            f"({len(result.executed)} executed now, {result.retries} retried)"
+        )
+        for shard_id in result.quarantined:
+            messages = result.errors.get(shard_id, [])
+            tail = f": {messages[-1]}" if messages else ""
+            print(f"  quarantined {shard_id}{tail}")
+        if result.reports_path:
+            print(f"  merged reports: {result.reports_path}")
+        elif not result.complete:
+            print("  incomplete; finish with `repro sweep resume --dir "
+                  f"{result.run_dir}`")
+    return 0 if result.complete else 1
+
+
+def _cmd_sweep(args) -> int:
+    # Imported here so the batch subcommands never pay for the sweep stack.
+    from repro.sweep import (
+        CheckpointCorruptError,
+        ManifestError,
+        SimulatedProcessDeath,
+        resume_sweep,
+        run_sweep,
+        sweep_status,
+    )
+
+    try:
+        if args.sweep_command == "status":
+            status = sweep_status(args.run_dir)
+            if args.json:
+                print(json.dumps(status, indent=1))
+            else:
+                print(
+                    f"sweep {status['run_dir']} [{status['kind']}]: "
+                    f"{len(status['completed'])}/{status['shards']} shards "
+                    f"complete, {len(status['pending'])} pending, "
+                    f"{len(status['quarantined'])} quarantined, "
+                    f"merged={status['merged']}"
+                )
+                for shard_id, record in status["quarantined"].items():
+                    errors = record.get("errors") or ["(no record)"]
+                    print(f"  quarantined {shard_id}: {errors[-1]}")
+            return 0 if not status["pending"] and not status["quarantined"] else 1
+
+        options = {
+            "workers": args.workers,
+            "max_attempts": args.max_attempts,
+            "shard_timeout": args.shard_timeout,
+        }
+        if args.sweep_command == "resume":
+            return _print_sweep_result(resume_sweep(args.run_dir, **options), args.json)
+
+        instances = []
+        for family_name in _split_csv(args.families):
+            family = get_family(family_name)
+            for size in _split_csv(args.sizes):
+                for seed in _split_csv(args.seeds):
+                    meta = {
+                        "family": family_name,
+                        "size": int(size),
+                        "seed": int(seed),
+                    }
+                    instances.append(
+                        (meta, family.make(meta["size"], meta["seed"]))
+                    )
+        algorithms = (
+            _split_csv(args.algorithms) if args.algorithms else algorithm_names("mds")
+        )
+        unknown = [name for name in algorithms if name not in algorithm_names()]
+        if unknown:
+            print(f"error: unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        result = run_sweep(
+            instances,
+            run_dir=args.run_dir,
+            algorithms=algorithms,
+            config=run_config_from_options(solver=args.solver),
+            shard_size=args.shard_size,
+            seed=args.sweep_seed,
+            **options,
+        )
+        return _print_sweep_result(result, args.json)
+    except (ManifestError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SimulatedProcessDeath as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    except CheckpointCorruptError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 4
 
 
 def _cmd_algorithms(args) -> int:
@@ -482,6 +684,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "algorithms":
         return _cmd_algorithms(args)
     if args.command == "families":

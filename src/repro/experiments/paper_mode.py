@@ -11,12 +11,24 @@ the proven-policy radii doing real (local, not degenerate) work.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
+from repro.api import RunConfig
 from repro.core.radii import RadiusPolicy
 from repro.graphs.generators import cycle
 from repro.graphs.local_cuts import is_local_one_cut
 from repro.solvers.exact import minimum_dominating_set
+
+#: The Table 1 algorithm set (the columns of the full-table landscape).
+TABLE1_ALGORITHMS = (
+    "degree_two",
+    "d2",
+    "take_all",
+    "algorithm1",
+    "greedy",
+    "greedy_central",
+)
 
 
 def paper_mode_on_cycles(
@@ -52,6 +64,83 @@ def paper_mode_on_cycles(
                 "opt": optimum,
                 "ratio": round(n / optimum, 3) if all_cut else float("nan"),
                 "ratio_bound": policy.ratio_bound,
+            }
+        )
+    return rows
+
+
+def full_table_sweep(
+    run_dir: str | Path,
+    *,
+    scale: str = "tiny",
+    algorithms: Sequence[str] | None = None,
+    shard_size: int = 1,
+    solver: str = "milp",
+    resume: bool = True,
+    **options,
+):
+    """The full Table-1 landscape as a crash-safe checkpointed sweep.
+
+    Runs every :func:`~repro.experiments.workloads.standard_suite`
+    family × every Table 1 algorithm through :func:`repro.sweep.run_sweep`
+    instead of one monolithic :func:`~repro.api.solve_many` call: each
+    shard's reports are checkpointed under ``run_dir``, worker crashes
+    retry with backoff, and re-invoking on the same directory (the
+    default ``resume=True``) finishes an interrupted run instead of
+    starting over.  ``options`` forward to the dispatcher (``workers``,
+    ``max_attempts``, ``shard_timeout``, ...).  Returns the
+    :class:`~repro.sweep.SweepResult`; the merged ``reports.json`` is
+    byte-identical (modulo ``wall_time``) to the direct batch run.
+    """
+    from repro.experiments.workloads import standard_suite
+    from repro.sweep import MANIFEST_NAME, resume_sweep, run_sweep
+
+    run_dir = Path(run_dir)
+    if resume and (run_dir / MANIFEST_NAME).exists():
+        return resume_sweep(run_dir, **options)
+    suite = standard_suite(scale)
+    instances = [
+        pair for workload in suite.values() for pair in workload.labelled()
+    ]
+    return run_sweep(
+        instances,
+        run_dir=run_dir,
+        algorithms=tuple(algorithms) if algorithms else TABLE1_ALGORITHMS,
+        config=RunConfig(validate="ratio", solver=solver),
+        shard_size=shard_size,
+        **options,
+    )
+
+
+def summarise_full_table(report_dicts: Sequence[dict]) -> list[dict]:
+    """Per ``(family, algorithm)`` ratio/rounds aggregates of a sweep.
+
+    Consumes the merged report dicts of :func:`full_table_sweep`
+    (``SweepResult.report_dicts()``) and produces rows in the shape of
+    the Table 1 summary: mean/max ratio, max rounds, validity.
+    """
+    groups: dict[tuple[str, str], list[dict]] = {}
+    order: list[tuple[str, str]] = []
+    for report in report_dicts:
+        key = (report["instance"].get("family", "?"), report["algorithm"])
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(report)
+    rows = []
+    for family, algorithm in order:
+        reports = groups[(family, algorithm)]
+        ratios = [r["ratio"] for r in reports if r["ratio"] is not None]
+        rounds = [r["result"]["rounds"] for r in reports if r.get("result")]
+        rows.append(
+            {
+                "family": family,
+                "algorithm": algorithm,
+                "instances": len(reports),
+                "ratio_mean": round(sum(ratios) / len(ratios), 4) if ratios else None,
+                "ratio_max": max(ratios) if ratios else None,
+                "rounds_max": max(rounds) if rounds else None,
+                "all_valid": all(r["valid"] for r in reports),
             }
         )
     return rows

@@ -50,6 +50,7 @@ representation (O(n + m)) is the right tool again.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import traceback
 import weakref
@@ -75,6 +76,22 @@ class StaleKernelError(RuntimeError):
     its derived caches are dropped before raising, so a handler may
     simply invalidate-and-retry.
     """
+
+
+def wire_digest(wire: "KernelWire") -> str:
+    """Canonical content hash of a :class:`KernelWire` snapshot.
+
+    Two graphs with equal labels and equal CSR bytes hash equally, so
+    the digest is a durable identity for an instance: the serve layer
+    keys its resident cache on it, and the sweep layer's manifests and
+    checkpoints use it to prove a shard re-executed after a crash ran
+    the *same* instances.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr(wire.labels).encode("utf-8"))
+    hasher.update(wire.indptr)
+    hasher.update(wire.indices)
+    return hasher.hexdigest()
 
 
 class KernelWire(NamedTuple):

@@ -22,13 +22,56 @@ graphs, algorithm results, and sweep tables to a stable JSON layout.
 
 from __future__ import annotations
 
+import base64
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable
 
 import networkx as nx
 
 from repro.core.results import AlgorithmResult
+
+
+def write_text_atomic(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash can never leave a torn file.
+
+    The text lands in a temporary file in the *same directory* (rename
+    across filesystems is not atomic), is fsync'd, and is then renamed
+    over the destination; the directory is fsync'd afterwards so the
+    rename itself survives a power loss.  Readers therefore see either
+    the complete old content or the complete new content — never a
+    prefix.  This is the sanctioned write path for every checkpoint-like
+    artifact (sweep manifests/checkpoints, serve result spills and job
+    journals); ``repro lint`` RPR006 flags raw writes in those modules.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def write_json_atomic(path: str | Path, payload: object, *, indent: int = 1) -> None:
+    """:func:`write_text_atomic` for a JSON payload (the common case)."""
+    write_text_atomic(path, json.dumps(payload, indent=indent))
 
 
 def graph_to_dict(graph: nx.Graph, meta: dict | None = None) -> dict:
@@ -54,6 +97,31 @@ def save_graph(graph: nx.Graph, path: str | Path, meta: dict | None = None) -> N
 
 def load_graph(path: str | Path) -> nx.Graph:
     return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def kernel_wire_to_dict(wire: "KernelWire") -> dict:
+    """JSON-ready dict for a :class:`repro.graphs.kernel.KernelWire`.
+
+    The CSR byte arrays travel base64-encoded; labels travel as plain
+    JSON (tuple labels become lists and are re-tupled on the way back,
+    like every other vertex round-trip in this module).
+    """
+    return {
+        "labels": list(wire.labels),
+        "indptr": base64.b64encode(wire.indptr).decode("ascii"),
+        "indices": base64.b64encode(wire.indices).decode("ascii"),
+    }
+
+
+def kernel_wire_from_dict(data: dict) -> "KernelWire":
+    """Inverse of :func:`kernel_wire_to_dict`."""
+    from repro.graphs.kernel import KernelWire
+
+    return KernelWire(
+        labels=tuple(_vertex_from_json(label) for label in data["labels"]),
+        indptr=base64.b64decode(data["indptr"]),
+        indices=base64.b64decode(data["indices"]),
+    )
 
 
 def result_to_dict(result: AlgorithmResult) -> dict:

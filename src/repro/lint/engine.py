@@ -21,6 +21,7 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.rules_bitset import BitsetDisciplineRule
 from repro.lint.rules_determinism import NondeterminismRule
+from repro.lint.rules_io import AtomicWriteRule
 from repro.lint.rules_kernel import (
     MutationWithoutInvalidateRule,
     UnregisteredDerivedCacheRule,
@@ -39,6 +40,7 @@ RULES = (
     NondeterminismRule(),
     RegistryHygieneRule(),
     BitsetDisciplineRule(),
+    AtomicWriteRule(),
 )
 
 

@@ -45,6 +45,9 @@ REPORT_MODULE_MARKERS = (
     # The serve subsystem emits job reports whose JSON must be
     # byte-identical to the direct batch runners' output.
     "/serve/",
+    # Sweep checkpoints and merged reports carry the same byte-identity
+    # contract as the batch runners they shard.
+    "/sweep/",
 )
 
 _TIME_CALLS = {

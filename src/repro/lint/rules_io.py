@@ -1,0 +1,104 @@
+"""Durable-write discipline: RPR006.
+
+The sweep and serve subsystems make crash-safety *claims*: a checkpoint,
+journal entry, or spilled result is either absent or complete, never
+torn.  That claim holds only if every durable write goes through the
+atomic helpers (:func:`repro.io.write_json_atomic` /
+:func:`repro.io.write_text_atomic` — temp file + fsync + rename).  A
+raw ``Path.write_text`` in those modules silently re-opens the torn-file
+window, so the contract is enforced statically: any direct write API in
+a durable-write module is a finding.  Deliberate raw writes (the fault
+harness damaging a checkpoint on purpose) carry an inline
+``# repro: ignore[RPR006] reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext, dotted
+from repro.lint.findings import Finding
+
+#: Path fragments (``/``-normalized) marking modules whose writes must
+#: be atomic — the subsystems that advertise crash-safe persistence.
+DURABLE_MODULE_MARKERS = (
+    "/sweep/",
+    "/serve/",
+)
+
+_WRITE_ATTRS = ("write_text", "write_bytes")
+
+#: ``open`` mode characters that make a handle writable.
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def is_durable_module(path: str) -> bool:
+    normalized = "/" + path.replace("\\", "/").lstrip("/")
+    return any(marker in normalized for marker in DURABLE_MODULE_MARKERS)
+
+
+class AtomicWriteRule:
+    """RPR006: raw file write in a crash-safe (sweep/serve) module."""
+
+    rule = "RPR006"
+    summary = "non-atomic file write in a durable-write module"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not is_durable_module(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._raw_write(node)
+            if what is not None:
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.rule,
+                    message=(
+                        f"{what} bypasses the atomic write helpers; durable "
+                        f"files in sweep/serve must go through "
+                        f"repro.io.write_json_atomic / write_text_atomic "
+                        f"(temp + fsync + rename) so a crash never leaves "
+                        f"a torn file"
+                    ),
+                )
+
+    def _raw_write(self, call: ast.Call) -> str | None:
+        """The offending call's description, or ``None`` if it is fine."""
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _WRITE_ATTRS:
+                return f"{func.attr}()"
+            base = dotted(func.value)
+            if base is not None and base.split(".")[-1] == "json" and func.attr == "dump":
+                return "json.dump() to a file handle"
+            if func.attr == "open" and self._writable_mode(call, position=0):
+                return "open() for writing"
+            return None
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open() for writing" if self._writable_mode(call, position=1) else None
+        return None
+
+    @staticmethod
+    def _writable_mode(call: ast.Call, position: int) -> bool:
+        """True if the ``open`` call's mode argument makes it writable.
+
+        ``position`` is where ``mode`` sits positionally (1 for builtin
+        ``open(file, mode)``, 0 for ``Path.open(mode)``).  A mode we
+        cannot resolve statically is treated as read-only — RPR006 backs
+        a convention, not a soundness proof.
+        """
+        mode: ast.expr | None = None
+        if len(call.args) > position:
+            mode = call.args[position]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return False
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return bool(_WRITE_MODE_CHARS.intersection(mode.value))
+        return False

@@ -23,25 +23,18 @@ service's memory bound is this cache's capacity.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 
 import networkx as nx
 
 from repro.graphs.families import get_family
-from repro.graphs.kernel import KernelWire, graph_from_wire
+
+# wire_digest lives with the wire format now (the sweep layer needs it
+# too); re-exported here because it grew up as serve vocabulary.
+from repro.graphs.kernel import KernelWire, graph_from_wire, wire_digest  # noqa: F401
 
 InstanceKey = tuple
-
-
-def wire_digest(wire: KernelWire) -> str:
-    """Canonical content hash of a :class:`KernelWire` snapshot."""
-    hasher = hashlib.sha256()
-    hasher.update(repr(wire.labels).encode("utf-8"))
-    hasher.update(wire.indptr)
-    hasher.update(wire.indices)
-    return hasher.hexdigest()
 
 
 class InstanceCache:

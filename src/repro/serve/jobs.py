@@ -21,6 +21,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.io import write_json_atomic
+
 JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
 
 #: Terminal states: the job will never run (again) and its record is
@@ -154,8 +156,9 @@ class ResultStore:
         if self.spill_dir is None:
             return
         self.spill_dir.mkdir(parents=True, exist_ok=True)
-        path = self.spill_dir / f"{job_id}.json"
-        path.write_text(json.dumps(record, indent=1))
+        # Atomic (temp + fsync + rename): a crash mid-eviction must not
+        # leave a torn record where a complete result used to be.
+        write_json_atomic(self.spill_dir / f"{job_id}.json", record)
         self._spilled += 1
 
     def get(self, job_id: str) -> dict | None:

@@ -24,16 +24,25 @@ modulo the sanctioned ``wall_time`` fields.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+from pathlib import Path
 
 from repro.api.runner import solve
 from repro.api.simulation import simulate
-from repro.io import counted_payload, run_report_to_dict, sim_report_to_dict
+from repro.io import (
+    counted_payload,
+    run_report_to_dict,
+    sim_report_to_dict,
+    write_json_atomic,
+)
 from repro.serve.instances import InstanceCache
-from repro.serve.jobs import Job, JobQueue, ResultStore
-from repro.serve.schema import ParsedJob, parse_job
+from repro.serve.jobs import Job, JobQueue, QueueFullError, ResultStore
+from repro.serve.schema import ParsedJob, SpecError, parse_job
 from repro.solvers import opt_cache
+
+JOURNAL_SCHEMA = 1
 
 
 class _JobCancelled(Exception):
@@ -56,11 +65,13 @@ class ReproService:
         result_capacity: int = 256,
         result_dir: str | None = None,
         instance_capacity: int = 256,
+        journal_dir: str | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
         self.workers = workers
         self.job_timeout = job_timeout
+        self.journal_dir = None if journal_dir is None else Path(journal_dir)
         self._queue = JobQueue(queue_depth)
         self._store = ResultStore(result_capacity, result_dir)
         self._instances = InstanceCache(instance_capacity)
@@ -82,11 +93,16 @@ class ReproService:
 
         Resets the OPT-cache counters first, so ``/stats`` reports the
         resident process's hit rate — not import-time or test noise
-        accumulated before the service existed.
+        accumulated before the service existed.  With a journal
+        directory configured, journalled jobs from a previous process
+        are re-admitted *before* any worker spawns, so recovered work
+        keeps its submission order ahead of new submissions.
         """
         if self._started:
             return self
         opt_cache.reset_cache_stats()
+        if self.journal_dir is not None:
+            self._recover_journal()
         start = time.monotonic()
         self._start_monotonic = start
         self._started = True
@@ -139,7 +155,74 @@ class ReproService:
                 del self._jobs[job.id]
                 self._seq -= 1
                 raise
+            self._journal_write(job.id, payload)
             return job.status()
+
+    # -- durable job journal -------------------------------------------------
+
+    def _journal_path(self, job_id: str) -> Path:
+        return self.journal_dir / f"{job_id}.json"
+
+    def _journal_write(self, job_id: str, payload: object) -> None:
+        """Persist an admitted job's original payload (atomic).
+
+        The journal entry lives from admission to terminal state; a
+        service crash in between leaves the file, and the next
+        :meth:`start` re-admits the job under its original id.
+        """
+        if self.journal_dir is None:
+            return
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        write_json_atomic(
+            self._journal_path(job_id),
+            {"schema": JOURNAL_SCHEMA, "id": job_id, "payload": payload},
+        )
+
+    def _journal_clear(self, job_id: str) -> None:
+        if self.journal_dir is not None:
+            self._journal_path(job_id).unlink(missing_ok=True)
+
+    def _recover_journal(self) -> int:
+        """Re-admit journalled jobs from a crashed process; returns count.
+
+        Entries re-parse through :func:`~repro.serve.schema.parse_job`
+        — an unreadable or no-longer-valid entry is renamed to
+        ``*.rejected`` (kept for inspection, never retried).  A full
+        queue stops recovery and leaves the remaining files for the
+        next start.
+        """
+        if not self.journal_dir.is_dir():
+            return 0
+        recovered = 0
+        for path in sorted(self.journal_dir.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+                if data.get("schema") != JOURNAL_SCHEMA:
+                    raise SpecError(f"unknown journal schema {data.get('schema')!r}")
+                job_id = data["id"]
+                parsed = parse_job(data["payload"])
+                number = int(job_id.lstrip("j"))
+            except (OSError, json.JSONDecodeError, KeyError, ValueError, SpecError):
+                path.rename(path.with_suffix(".rejected"))
+                continue
+            with self._cv:
+                try:
+                    self._queue.put(job_id)
+                except QueueFullError:
+                    break
+                self._jobs[job_id] = Job(
+                    id=job_id,
+                    kind=parsed.kind,
+                    parsed=parsed,
+                    timeout=(
+                        parsed.timeout
+                        if parsed.timeout is not None
+                        else self.job_timeout
+                    ),
+                )
+                self._seq = max(self._seq, number)
+            recovered += 1
+        return recovered
 
     def _retry_after_hint(self) -> int:
         """Seconds a 429'd client should wait: queue drain estimate."""
@@ -319,6 +402,7 @@ class ReproService:
         job.state = state
         job.error = error
         self._store.put(job.id, {"job": job.status(), "reports": job.reports})
+        self._journal_clear(job.id)
         del self._jobs[job.id]
         self._finished[state] += 1
         self._wall_total += job.wall_time

@@ -1,0 +1,75 @@
+"""Crash-safe sharded sweeps over the batch runners.
+
+``run_sweep`` plans a ``solve_many``/``simulate_many`` workload into
+checkpointed shards and executes them with retry/backoff/quarantine;
+``resume_sweep`` picks an interrupted run back up from its manifest and
+verified checkpoints; ``sweep_status`` reports progress.  The seeded
+fault-injection harness (:mod:`repro.sweep.faultinject`) is env-gated
+via ``REPRO_FAULT_INJECT``.
+"""
+
+from repro.sweep.dispatch import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_MAX_ATTEMPTS,
+    ShardDispatcher,
+    ShardOutcome,
+    SweepResult,
+    resume_sweep,
+    run_sweep,
+    sweep_status,
+)
+from repro.sweep.faultinject import (
+    ENV_VAR as FAULT_ENV_VAR,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    SimulatedProcessDeath,
+    injector_from_env,
+    parse_fault_spec,
+)
+from repro.sweep.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    InstanceRef,
+    ManifestError,
+    ShardSpec,
+    SweepManifest,
+    load_manifest,
+    plan_sweep,
+)
+from repro.sweep.store import (
+    CHECKPOINT_SCHEMA,
+    REPORTS_NAME,
+    CheckpointCorruptError,
+    CheckpointStore,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FAULT_ENV_VAR",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "REPORTS_NAME",
+    "CheckpointCorruptError",
+    "CheckpointStore",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InstanceRef",
+    "ManifestError",
+    "ShardDispatcher",
+    "ShardOutcome",
+    "ShardSpec",
+    "SimulatedProcessDeath",
+    "SweepManifest",
+    "SweepResult",
+    "injector_from_env",
+    "load_manifest",
+    "parse_fault_spec",
+    "plan_sweep",
+    "resume_sweep",
+    "run_sweep",
+    "sweep_status",
+]

@@ -1,0 +1,413 @@
+"""Crash-safe shard dispatch: retries, backoff, quarantine, resume.
+
+The dispatcher executes a :class:`~repro.sweep.manifest.SweepManifest`'s
+shards on a :class:`~concurrent.futures.ProcessPoolExecutor` and treats
+every failure mode as survivable:
+
+* a **task exception** inside a shard (a bug, an injected fault) marks
+  that attempt failed and reschedules the shard;
+* a **dead worker** (OOM kill, SIGKILL — surfacing as
+  ``BrokenProcessPool``) poisons the whole pool: every in-flight shard
+  is charged a failed attempt (the casualty cannot be attributed), the
+  pool is rebuilt, and the shards rerun;
+* a **per-shard timeout** abandons the pool (a hung worker cannot be
+  cancelled), charges only the timed-out shard, and requeues the other
+  in-flight shards for free;
+* an exhausted shard (``max_attempts`` failures) is **quarantined**: a
+  structured failure record lands in ``failures/`` and the run carries
+  on — one poison shard never aborts an overnight sweep.
+
+Retries back off exponentially with **seeded** jitter (a pure function
+of the manifest seed, shard id, and attempt — chaos runs replay
+exactly).  Each completed shard's reports are checkpointed atomically
+*before* the next shard outcome is processed, so the run directory is
+always a consistent prefix of the sweep: :func:`resume_sweep` re-reads
+the manifest, verifies every checkpoint digest, and executes only what
+is missing.  The merged report list is byte-identical to an
+uninterrupted serial batch run modulo the sanctioned ``wall_time``
+fields.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.api.config import RunConfig
+from repro.sweep.faultinject import FaultInjector, injector_from_env
+from repro.sweep.manifest import (
+    MANIFEST_NAME,
+    ShardSpec,
+    SweepManifest,
+    load_manifest,
+    plan_sweep,
+)
+from repro.sweep.store import REPORTS_NAME, CheckpointStore
+from repro.sweep.worker import execute_shard, shard_task
+
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Dispatch loop poll interval: how often deadlines are re-checked.
+_POLL_S = 0.05
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one shard during one dispatcher invocation."""
+
+    id: str
+    state: str
+    """``"completed"`` or ``"quarantined"``."""
+    attempts: int
+    errors: list[str] = field(default_factory=list)
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one ``run_sweep``/``resume_sweep`` invocation."""
+
+    run_dir: Path
+    kind: str
+    total_shards: int
+    executed: list[str]
+    """Shard ids executed (not served from prior checkpoints) this call."""
+    completed: list[str]
+    """All shard ids with a verified checkpoint, after this call."""
+    quarantined: list[str]
+    retries: int
+    """Failed attempts that were rescheduled this call."""
+    attempts: dict[str, int]
+    """Attempts used per executed shard."""
+    errors: dict[str, list[str]]
+    """Per-shard failure messages accumulated this call."""
+    reports_path: Path | None
+    """``reports.json`` when every shard completed, else ``None``."""
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed) == self.total_shards
+
+    def report_dicts(self) -> list[dict]:
+        """The merged, serial-order report dicts (requires completion)."""
+        manifest = load_manifest(self.run_dir)
+        return CheckpointStore(self.run_dir).merge_report_dicts(manifest)
+
+
+class ShardDispatcher:
+    """Executes shards with retry/backoff/quarantine (see module doc)."""
+
+    def __init__(
+        self,
+        manifest: SweepManifest,
+        store: CheckpointStore,
+        *,
+        workers: int | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        shard_timeout: float | None = None,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        sleep: Callable[[float], None] = time.sleep,
+        injector: FaultInjector | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        self.manifest = manifest
+        self.manifest_dict = manifest.to_dict()
+        self.store = store
+        self.workers = max(1, workers or 1)
+        self.max_attempts = max_attempts
+        self.shard_timeout = shard_timeout
+        self.backoff_base = backoff_base
+        self._sleep = sleep
+        self.injector = injector if injector is not None else injector_from_env()
+        self._fault_dict = (
+            self.injector.spec.to_dict() if self.injector.active else None
+        )
+        self.retries = 0
+
+    def backoff_delay(self, shard_id: str, attempt: int) -> float:
+        """Seeded exponential backoff with jitter in [0.5x, 1x]."""
+        rng = random.Random(f"{self.manifest.seed}:backoff:{shard_id}:{attempt}")
+        return self.backoff_base * (2**attempt) * (0.5 + 0.5 * rng.random())
+
+    def run(self, shards: Sequence[ShardSpec]) -> dict[str, ShardOutcome]:
+        """Execute ``shards`` until each is completed or quarantined.
+
+        Raises :class:`~repro.sweep.faultinject.SimulatedProcessDeath`
+        when the (env-gated) fault harness injects a driver death —
+        checkpoints written so far stay on disk, exactly like a real
+        crash.
+        """
+        outcomes: dict[str, ShardOutcome] = {}
+        errors: dict[str, list[str]] = {shard.id: [] for shard in shards}
+        pending: deque[tuple[ShardSpec, int]] = deque(
+            (shard, 0) for shard in shards
+        )
+        in_flight: dict = {}
+        pool: ProcessPoolExecutor | None = None
+        completed_now = 0
+        try:
+            while pending or in_flight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                while pending and len(in_flight) < self.workers:
+                    shard, attempt = pending.popleft()
+                    future = pool.submit(
+                        execute_shard,
+                        shard_task(
+                            self.manifest_dict,
+                            shard.to_dict(),
+                            attempt,
+                            self._fault_dict,
+                        ),
+                    )
+                    deadline = (
+                        None
+                        if self.shard_timeout is None
+                        else time.monotonic() + self.shard_timeout
+                    )
+                    in_flight[future] = (shard, attempt, deadline)
+
+                done, _ = wait(
+                    set(in_flight), timeout=_POLL_S, return_when=FIRST_COMPLETED
+                )
+                pool_broken = False
+                for future in sorted(done, key=lambda f: in_flight[f][0].id):
+                    shard, attempt, _deadline = in_flight.pop(future)
+                    try:
+                        _shard_id, reports = future.result()
+                    except BrokenProcessPool as error:
+                        # The casualty cannot be attributed: every shard
+                        # in flight on this pool is charged an attempt.
+                        pool_broken = True
+                        self._failed(
+                            shard,
+                            attempt,
+                            f"worker crashed (pool broken): {error}",
+                            pending,
+                            outcomes,
+                            errors,
+                        )
+                    except Exception as error:  # noqa: BLE001 — shard faults must not kill the sweep
+                        self._failed(
+                            shard,
+                            attempt,
+                            f"{type(error).__name__}: {error}",
+                            pending,
+                            outcomes,
+                            errors,
+                        )
+                    else:
+                        path = self.store.write_checkpoint(
+                            shard.id, shard.digest, reports
+                        )
+                        self.injector.maybe_damage_checkpoint(
+                            path, shard.id, attempt
+                        )
+                        self.store.clear_failure(shard.id)
+                        outcomes[shard.id] = ShardOutcome(
+                            shard.id, "completed", attempt + 1, errors[shard.id]
+                        )
+                        completed_now += 1
+                        self.injector.maybe_die(completed_now)
+                if pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    continue
+
+                if self.shard_timeout is not None and in_flight:
+                    deadline_now = time.monotonic()
+                    timed_out = [
+                        (future, entry)
+                        for future, entry in in_flight.items()
+                        if entry[2] is not None and deadline_now >= entry[2]
+                    ]
+                    if timed_out:
+                        # A hung worker cannot be cancelled: abandon the
+                        # pool.  Only timed-out shards are charged; the
+                        # other in-flight shards requeue for free.
+                        charged = {future for future, _ in timed_out}
+                        for future, (shard, attempt, _) in timed_out:
+                            self._failed(
+                                shard,
+                                attempt,
+                                f"shard timed out after {self.shard_timeout}s",
+                                pending,
+                                outcomes,
+                                errors,
+                            )
+                        for future, (shard, attempt, _) in list(in_flight.items()):
+                            if future not in charged:
+                                pending.append((shard, attempt))
+                        in_flight.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+    def _failed(
+        self,
+        shard: ShardSpec,
+        attempt: int,
+        message: str,
+        pending: deque,
+        outcomes: dict[str, ShardOutcome],
+        errors: dict[str, list[str]],
+    ) -> None:
+        """Record one failed attempt: reschedule with backoff or quarantine."""
+        errors[shard.id].append(f"attempt {attempt + 1}: {message}")
+        if attempt + 1 >= self.max_attempts:
+            self.store.write_failure(
+                shard.id,
+                {
+                    "schema": 1,
+                    "shard": shard.id,
+                    "spec_digest": shard.digest,
+                    "attempts": attempt + 1,
+                    "errors": errors[shard.id],
+                    "quarantined": True,
+                },
+            )
+            outcomes[shard.id] = ShardOutcome(
+                shard.id, "quarantined", attempt + 1, errors[shard.id]
+            )
+            return
+        self.retries += 1
+        self._sleep(self.backoff_delay(shard.id, attempt))
+        pending.append((shard, attempt + 1))
+
+
+def _dispatch(
+    manifest: SweepManifest,
+    run_dir: Path,
+    pending: Sequence[ShardSpec],
+    **options,
+) -> SweepResult:
+    store = CheckpointStore(run_dir)
+    dispatcher = ShardDispatcher(manifest, store, **options)
+    outcomes = dispatcher.run(pending)
+    # Completion is re-proved from disk, so damage injected after a
+    # checkpoint landed (or any latent corruption) is caught here, not
+    # at the next resume.
+    completed = store.completed_ids(manifest)
+    quarantined = sorted(store.quarantined())
+    reports_path = None
+    if len(completed) == len(manifest.shards):
+        reports_path = store.write_merged(manifest)
+    return SweepResult(
+        run_dir=run_dir,
+        kind=manifest.kind,
+        total_shards=len(manifest.shards),
+        executed=sorted(outcome.id for outcome in outcomes.values()),
+        completed=sorted(completed),
+        quarantined=quarantined,
+        retries=dispatcher.retries,
+        attempts={
+            outcome.id: outcome.attempts for outcome in outcomes.values()
+        },
+        errors={
+            shard_id: outcome.errors
+            for shard_id, outcome in outcomes.items()
+            if outcome.errors
+        },
+        reports_path=reports_path,
+    )
+
+
+def run_sweep(
+    instances: Iterable,
+    *,
+    run_dir: str | Path,
+    algorithms: str | Sequence[str] | None = None,
+    specs=None,
+    config: RunConfig | None = None,
+    shard_size: int = 1,
+    seed: int = 0,
+    **options,
+) -> SweepResult:
+    """Plan and execute a crash-safe sharded sweep under ``run_dir``.
+
+    Accepts the batch runners' vocabulary (``instances`` ×
+    ``algorithms``+``config``, or ``instances`` × ``specs``), plans
+    instance-major shards of ``shard_size``, writes the durable
+    manifest, and dispatches with retry/backoff/quarantine.  ``options``
+    forward to :class:`ShardDispatcher` (``workers``, ``max_attempts``,
+    ``shard_timeout``, ``backoff_base``, ``injector``, ``sleep``).
+
+    Refuses a directory that already holds a manifest — that is a
+    :func:`resume_sweep`, and silently replanning could orphan
+    checkpoints.
+    """
+    run_dir = Path(run_dir)
+    if (run_dir / MANIFEST_NAME).exists():
+        raise ValueError(
+            f"{run_dir} already contains a sweep manifest; "
+            f"use resume_sweep / `repro sweep resume`"
+        )
+    manifest = plan_sweep(
+        instances,
+        algorithms=algorithms,
+        specs=specs,
+        config=config,
+        shard_size=shard_size,
+        seed=seed,
+    )
+    manifest.write(run_dir)
+    return _dispatch(manifest, run_dir, list(manifest.shards), **options)
+
+
+def resume_sweep(run_dir: str | Path, **options) -> SweepResult:
+    """Resume an interrupted sweep: execute only what is not proved done.
+
+    Re-reads the manifest, verifies every checkpoint against its shard
+    digest (a torn, corrupted, or stale checkpoint is *not* done), and
+    dispatches the remainder.  Previously quarantined shards get a
+    fresh set of attempts — the fault may have been transient.
+    Resuming a complete run just re-merges and returns.
+    """
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    store = CheckpointStore(run_dir)
+    completed = store.completed_ids(manifest)
+    for shard_id in sorted(store.quarantined()):
+        store.clear_failure(shard_id)
+    pending = [shard for shard in manifest.shards if shard.id not in completed]
+    return _dispatch(manifest, run_dir, pending, **options)
+
+
+def sweep_status(run_dir: str | Path) -> dict:
+    """A JSON-ready snapshot of a run directory's progress."""
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    store = CheckpointStore(run_dir)
+    completed = store.completed_ids(manifest)
+    quarantined = store.quarantined()
+    pending = [
+        shard.id
+        for shard in manifest.shards
+        if shard.id not in completed and shard.id not in quarantined
+    ]
+    return {
+        "run_dir": str(run_dir),
+        "kind": manifest.kind,
+        "shards": len(manifest.shards),
+        "instances": sum(len(shard.instances) for shard in manifest.shards),
+        "completed": sorted(completed),
+        "quarantined": {
+            shard_id: {
+                "attempts": record.get("attempts"),
+                "errors": record.get("errors", []),
+            }
+            for shard_id, record in sorted(quarantined.items())
+        },
+        "pending": pending,
+        "merged": (run_dir / REPORTS_NAME).exists(),
+    }

@@ -1,0 +1,197 @@
+"""Seeded fault injection for the sweep subsystem (test/chaos harness).
+
+Env-gated like ``REPRO_KERNEL_GUARD``: set ::
+
+    REPRO_FAULT_INJECT="kill=1.0,corrupt=0.5,die=1.0,seed=7,attempts=1"
+
+and every injection point in the dispatcher and its workers consults a
+**seeded** decision function — the same spec and seed reproduce the
+same faults, so a chaos run is as replayable as a clean one.  The knobs
+(all probabilities in ``[0, 1]``, default 0 = never):
+
+* ``kill``   — the worker process SIGKILLs itself mid-shard (after the
+  first unit's report exists, so the kill provably discards work) —
+  surfaces as ``BrokenProcessPool``/``WorkerCrashError`` in the parent;
+* ``raise``  — the worker raises :class:`InjectedFault` mid-shard
+  (an ordinary task exception, the retry path without pool rebuild);
+* ``hang``   — the worker sleeps ``hang_s`` seconds mid-shard (drives
+  the per-shard timeout + pool-abandon path);
+* ``corrupt`` — after a checkpoint is written, garbage overwrites its
+  tail (valid file length, invalid JSON);
+* ``truncate`` — after a checkpoint is written, the file is cut in half
+  (the torn-write shape atomic rename is meant to prevent);
+* ``die``    — between shards (right after a checkpoint lands), the
+  dispatcher raises :class:`SimulatedProcessDeath`, aborting the run
+  the way ``kill -9`` of the whole driver would;
+* ``seed``   — the decision RNG seed (default 0);
+* ``attempts`` — inject only while ``attempt < attempts`` (default 1:
+  first attempts fail, retries succeed — every chaos run terminates);
+* ``hang_s`` — seconds a ``hang`` sleeps (default 30).
+
+Decisions are pure functions of ``(seed, site, key, attempt)`` — no
+global RNG state, per RPR003.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+ENV_VAR = "REPRO_FAULT_INJECT"
+
+_SITES = ("kill", "raise", "hang", "corrupt", "truncate", "die")
+
+
+class InjectedFault(RuntimeError):
+    """The fault harness raised inside a worker task (on purpose)."""
+
+
+class SimulatedProcessDeath(RuntimeError):
+    """The fault harness aborted the dispatcher between shards.
+
+    The run directory is left exactly as a real driver death would
+    leave it: manifest + the checkpoints written so far.  Recover with
+    ``repro sweep resume``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parsed injection probabilities (see the module docstring)."""
+
+    kill: float = 0.0
+    raise_: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    die: float = 0.0
+    seed: int = 0
+    attempts: int = 1
+    hang_s: float = 30.0
+
+    def probability(self, site: str) -> float:
+        return getattr(self, "raise_" if site == "raise" else site)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+
+def parse_fault_spec(text: str | None) -> FaultSpec | None:
+    """Parse the ``REPRO_FAULT_INJECT`` grammar; ``None``/empty = off."""
+    if not text:
+        return None
+    values: dict = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"fault knob {part!r} needs the form key=value")
+        if key in _SITES:
+            values["raise_" if key == "raise" else key] = float(value)
+        elif key in ("seed", "attempts"):
+            values[key] = int(value)
+        elif key == "hang_s":
+            values[key] = float(value)
+        else:
+            raise ValueError(
+                f"unknown fault knob {key!r}; known: "
+                f"{', '.join(_SITES + ('seed', 'attempts', 'hang_s'))}"
+            )
+    return FaultSpec(**values)
+
+
+def spec_from_env(environ=os.environ) -> FaultSpec | None:
+    """The env-gated spec (``None`` unless ``REPRO_FAULT_INJECT`` is set)."""
+    return parse_fault_spec(environ.get(ENV_VAR))
+
+
+class FaultInjector:
+    """Seeded decision-maker behind every injection point.
+
+    Construct with a :class:`FaultSpec` (or use :func:`injector_from_env`).
+    A ``None`` spec makes every ``maybe_*`` a no-op, so production code
+    calls the hooks unconditionally.
+    """
+
+    def __init__(self, spec: FaultSpec | None):
+        self.spec = spec
+
+    @property
+    def active(self) -> bool:
+        return self.spec is not None
+
+    def should(self, site: str, key: str, attempt: int = 0) -> bool:
+        """The seeded decision: fire ``site`` for ``key`` at ``attempt``?"""
+        if self.spec is None or attempt >= self.spec.attempts:
+            return False
+        probability = self.spec.probability(site)
+        if probability <= 0.0:
+            return False
+        # String seeds hash via SHA-512 in CPython — deterministic
+        # across processes and runs, unlike object hash().
+        rng = random.Random(f"{self.spec.seed}:{site}:{key}:{attempt}")
+        return rng.random() < probability
+
+    # -- worker-side sites (mid-shard) --------------------------------------
+
+    def maybe_kill(self, shard_id: str, attempt: int) -> None:
+        if self.should("kill", shard_id, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_raise(self, shard_id: str, attempt: int) -> None:
+        if self.should("raise", shard_id, attempt):
+            raise InjectedFault(
+                f"injected task failure in shard {shard_id} (attempt {attempt})"
+            )
+
+    def maybe_hang(self, shard_id: str, attempt: int) -> None:
+        if self.should("hang", shard_id, attempt):
+            time.sleep(self.spec.hang_s)
+
+    # -- parent-side sites --------------------------------------------------
+
+    def maybe_damage_checkpoint(
+        self, path: str | Path, shard_id: str, attempt: int
+    ) -> str | None:
+        """Corrupt or truncate a just-written checkpoint file.
+
+        Returns the damage kind (``"corrupt"``/``"truncate"``) or
+        ``None``.  Damage is applied *after* the atomic rename — it
+        models latent disk corruption, which resume must detect via the
+        spec digest / JSON parse, not something atomic writes prevent.
+        """
+        path = Path(path)
+        if self.should("corrupt", shard_id, attempt):
+            data = path.read_bytes()
+            keep = max(1, len(data) // 2)
+            path.write_bytes(  # repro: ignore[RPR006] deliberate damage: models post-rename disk corruption
+                data[:keep] + b"\x00garbage\x00" * 4
+            )
+            return "corrupt"
+        if self.should("truncate", shard_id, attempt):
+            data = path.read_bytes()
+            path.write_bytes(  # repro: ignore[RPR006] deliberate damage: models a torn write
+                data[: max(1, len(data) // 2)]
+            )
+            return "truncate"
+        return None
+
+    def maybe_die(self, completed_shards: int) -> None:
+        """Simulate driver death between shards (after checkpoint ``k``)."""
+        if self.should("die", f"after{completed_shards}", 0):
+            raise SimulatedProcessDeath(
+                f"injected driver death after {completed_shards} checkpointed "
+                f"shard(s); resume with `repro sweep resume`"
+            )
+
+
+def injector_from_env(environ=os.environ) -> FaultInjector:
+    """The env-gated injector (inactive unless ``REPRO_FAULT_INJECT`` set)."""
+    return FaultInjector(spec_from_env(environ))

@@ -1,0 +1,160 @@
+"""Atomic checkpoint store + quarantine records for one run directory.
+
+Layout under a run directory::
+
+    run_dir/
+      manifest.json            # the plan (written once, atomically)
+      checkpoints/s00000.json  # one completed shard's reports
+      failures/s00000.json     # one quarantined shard's failure record
+      reports.json             # the merged batch (written by run/resume)
+
+Every file goes through :func:`repro.io.write_json_atomic` (temp +
+fsync + rename), so a crash at any instant leaves either no file or a
+complete one — never a torn JSON.  Completion is *proved*, not assumed:
+a checkpoint counts only if it parses, carries the current schema, and
+its ``spec_digest`` matches the manifest shard's digest.  Anything else
+(truncated file, bit rot, a checkpoint from a different plan) is
+reported as invalid and the shard re-runs on resume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.io import write_json_atomic
+from repro.sweep.manifest import SweepManifest
+
+CHECKPOINT_SCHEMA = 1
+CHECKPOINT_DIR = "checkpoints"
+FAILURE_DIR = "failures"
+REPORTS_NAME = "reports.json"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A merge found a checkpoint that does not verify against the
+    manifest; re-run ``repro sweep resume`` to re-execute the shard."""
+
+
+class CheckpointStore:
+    """Reads and writes one run directory's checkpoints and failures."""
+
+    def __init__(self, run_dir: str | Path):
+        self.run_dir = Path(run_dir)
+        self.checkpoint_dir = self.run_dir / CHECKPOINT_DIR
+        self.failure_dir = self.run_dir / FAILURE_DIR
+
+    # -- checkpoints --------------------------------------------------------
+
+    def checkpoint_path(self, shard_id: str) -> Path:
+        return self.checkpoint_dir / f"{shard_id}.json"
+
+    def write_checkpoint(
+        self, shard_id: str, spec_digest: str, reports: list[dict]
+    ) -> Path:
+        """Persist one completed shard's reports (atomic, idempotent).
+
+        A re-executed shard (resume, retry after corruption) simply
+        renames over the old file — merge-time dedup is structural:
+        one file per shard id, so a report can never appear twice.
+        """
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        path = self.checkpoint_path(shard_id)
+        write_json_atomic(
+            path,
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "shard": shard_id,
+                "spec_digest": spec_digest,
+                "reports": reports,
+            },
+        )
+        return path
+
+    def read_checkpoint(self, shard_id: str, spec_digest: str) -> list[dict] | None:
+        """The shard's reports, or ``None`` unless the file *proves* it
+        completed this exact shard (parses, schema matches, digest
+        matches)."""
+        path = self.checkpoint_path(shard_id)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        if data.get("schema") != CHECKPOINT_SCHEMA:
+            return None
+        if data.get("shard") != shard_id or data.get("spec_digest") != spec_digest:
+            return None
+        reports = data.get("reports")
+        return reports if isinstance(reports, list) else None
+
+    def completed_ids(self, manifest: SweepManifest) -> set[str]:
+        """Shard ids whose checkpoints verify against the manifest."""
+        return {
+            shard.id
+            for shard in manifest.shards
+            if self.read_checkpoint(shard.id, shard.digest) is not None
+        }
+
+    # -- quarantine ---------------------------------------------------------
+
+    def failure_path(self, shard_id: str) -> Path:
+        return self.failure_dir / f"{shard_id}.json"
+
+    def write_failure(self, shard_id: str, record: dict) -> Path:
+        """Persist a structured quarantine record (atomic)."""
+        self.failure_dir.mkdir(parents=True, exist_ok=True)
+        path = self.failure_path(shard_id)
+        write_json_atomic(path, record)
+        return path
+
+    def clear_failure(self, shard_id: str) -> None:
+        self.failure_path(shard_id).unlink(missing_ok=True)
+
+    def quarantined(self) -> dict[str, dict]:
+        """``shard id -> failure record`` for every quarantine file."""
+        records: dict[str, dict] = {}
+        if not self.failure_dir.is_dir():
+            return records
+        for path in sorted(self.failure_dir.glob("*.json")):
+            try:
+                records[path.stem] = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                # A torn failure record still marks the shard as
+                # quarantined; resume clears and retries it anyway.
+                records[path.stem] = {"shard": path.stem, "error": "unreadable record"}
+        return records
+
+    # -- merge --------------------------------------------------------------
+
+    def merge_report_dicts(self, manifest: SweepManifest) -> list[dict]:
+        """Concatenate every shard's reports in shard (= serial) order.
+
+        Deduplication is structural: each shard id contributes exactly
+        one verified checkpoint, and shards partition the instance list,
+        so no report can be duplicated or dropped.  Raises
+        :class:`CheckpointCorruptError` naming the first shard whose
+        checkpoint is missing or does not verify.
+        """
+        merged: list[dict] = []
+        for shard in manifest.shards:
+            reports = self.read_checkpoint(shard.id, shard.digest)
+            if reports is None:
+                state = (
+                    "corrupt or stale"
+                    if self.checkpoint_path(shard.id).exists()
+                    else "missing"
+                )
+                raise CheckpointCorruptError(
+                    f"checkpoint for shard {shard.id} is {state}; "
+                    f"run `repro sweep resume` on {self.run_dir}"
+                )
+            merged.extend(reports)
+        return merged
+
+    def write_merged(self, manifest: SweepManifest) -> Path:
+        """Merge and persist ``reports.json`` (atomic); returns its path."""
+        path = self.run_dir / REPORTS_NAME
+        write_json_atomic(path, self.merge_report_dicts(manifest))
+        return path

@@ -1,0 +1,79 @@
+"""A dead pool worker surfaces as a typed WorkerCrashError, not a raw
+BrokenProcessPool: the error names the first unfinished chunk so the
+caller knows what was lost, and points at repro.sweep for the
+checkpointed alternative."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.api import (
+    RunConfig,
+    SimulationSpec,
+    WorkerCrashError,
+    simulate_many,
+    solve_many,
+)
+from repro.api import runner as runner_module
+from repro.api import simulation as simulation_module
+from repro.graphs.families import get_family
+
+
+def _instances(count=4):
+    family = get_family("tree")
+    return [
+        ({"family": "tree", "size": 10, "seed": seed}, family.make(10, seed))
+        for seed in range(count)
+    ]
+
+
+_REAL_SOLVE_TASK = runner_module._solve_instance_task
+_REAL_SIM_TASK = simulation_module._simulate_task
+
+
+def _killer_solve_task(task):
+    # Module-level so the fork-started pool pickles it by reference.
+    if task[0].get("seed") == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_SOLVE_TASK(task)
+
+
+def _killer_sim_task(task):
+    if task[0].get("seed") == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_SIM_TASK(task)
+
+
+def test_solve_many_reports_worker_crash(monkeypatch):
+    monkeypatch.setattr(runner_module, "_solve_instance_task", _killer_solve_task)
+    with pytest.raises(WorkerCrashError) as excinfo:
+        solve_many(_instances(), ["greedy"], RunConfig(), workers=2)
+    error = excinfo.value
+    assert error.kind == "solve"
+    assert error.total == 4
+    assert 0 <= error.completed < error.total
+    # The in-flight chunk is named by its instance meta.
+    assert error.in_flight["family"] == "tree"
+    assert "repro.sweep" in str(error)
+
+
+def test_simulate_many_reports_worker_crash(monkeypatch):
+    monkeypatch.setattr(simulation_module, "_simulate_task", _killer_sim_task)
+    with pytest.raises(WorkerCrashError) as excinfo:
+        simulate_many(
+            _instances(), [SimulationSpec(algorithm="degree_two")], workers=2
+        )
+    error = excinfo.value
+    assert error.kind == "simulate"
+    assert error.total == 4
+    assert 0 <= error.completed < error.total
+    assert error.in_flight["family"] == "tree"
+
+
+def test_healthy_parallel_runs_are_unaffected():
+    serial = solve_many(_instances(), ["greedy"], RunConfig())
+    parallel = solve_many(_instances(), ["greedy"], RunConfig(), workers=2)
+    assert [r.ratio for r in serial] == [r.ratio for r in parallel]

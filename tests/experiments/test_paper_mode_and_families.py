@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.experiments.paper_mode import paper_mode_on_cycles
+from repro.experiments.paper_mode import (
+    full_table_sweep,
+    paper_mode_on_cycles,
+    summarise_full_table,
+)
 from repro.graphs.random_families import sample_family
 
 
@@ -17,6 +21,29 @@ class TestPaperMode:
     def test_short_cycle_guard(self):
         with pytest.raises(ValueError, match="must exceed"):
             paper_mode_on_cycles(ns=(50,), t=2)
+
+
+class TestFullTableSweep:
+    def test_checkpointed_sweep_and_summary(self, tmp_path):
+        result = full_table_sweep(
+            tmp_path / "table", algorithms=["d2"], shard_size=4, workers=2
+        )
+        assert result.complete
+        rows = summarise_full_table(result.report_dicts())
+        # One row per (family, algorithm); the tiny suite has 11 families.
+        assert len(rows) == 11
+        assert {row["algorithm"] for row in rows} == {"d2"}
+        for row in rows:
+            assert row["instances"] == 2
+            assert row["all_valid"]
+            assert row["ratio_max"] >= 1.0
+
+        # Re-invoking on the same directory resumes (here: a no-op) and
+        # reproduces the same merged reports instead of starting over.
+        again = full_table_sweep(tmp_path / "table", workers=2)
+        assert again.complete
+        assert again.executed == []
+        assert summarise_full_table(again.report_dicts()) == rows
 
 
 class TestSampleFamily:

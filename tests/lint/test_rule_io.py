@@ -1,0 +1,101 @@
+"""RPR006: durable writes in sweep/serve must use the atomic helpers."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+DURABLE_PATH = "src/repro/sweep/demo.py"
+SERVE_PATH = "src/repro/serve/demo.py"
+PLAIN_PATH = "src/repro/solvers/demo.py"
+
+
+def rpr006(source: str, path: str = DURABLE_PATH) -> list[str]:
+    findings = lint_source(textwrap.dedent(source), path, select=("RPR006",))
+    return [f.rule for f in findings]
+
+
+def test_write_text_fires_in_sweep_and_serve():
+    src = """
+        def checkpoint(path, payload):
+            path.write_text(payload)
+    """
+    assert rpr006(src) == ["RPR006"]
+    assert rpr006(src, path=SERVE_PATH) == ["RPR006"]
+
+
+def test_write_bytes_fires():
+    src = """
+        def checkpoint(path, blob):
+            path.write_bytes(blob)
+    """
+    assert rpr006(src) == ["RPR006"]
+
+
+def test_json_dump_to_handle_fires():
+    src = """
+        import json
+        def checkpoint(handle, payload):
+            json.dump(payload, handle)
+    """
+    assert rpr006(src) == ["RPR006"]
+
+
+def test_open_for_writing_fires():
+    src = """
+        def checkpoint(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+    """
+    assert rpr006(src) == ["RPR006"]
+
+
+def test_path_open_for_writing_fires():
+    src = """
+        def checkpoint(path, text):
+            with path.open(mode="w") as handle:
+                handle.write(text)
+    """
+    assert rpr006(src) == ["RPR006"]
+
+
+def test_reads_are_quiet():
+    src = """
+        import json
+        def load(path):
+            with open(path) as handle:
+                first = handle.read()
+            with open(path, "r") as handle:
+                second = json.load(handle)
+            return path.read_text(), first, second
+    """
+    assert rpr006(src) == []
+
+
+def test_atomic_helpers_are_quiet():
+    src = """
+        from repro.io import write_json_atomic, write_text_atomic
+        def checkpoint(path, payload):
+            write_json_atomic(path, payload)
+            write_text_atomic(path, "done")
+    """
+    assert rpr006(src) == []
+
+
+def test_other_modules_are_exempt():
+    src = """
+        def save(path, text):
+            path.write_text(text)
+    """
+    assert rpr006(src, path=PLAIN_PATH) == []
+
+
+def test_suppression_documents_deliberate_damage():
+    src = """
+        def damage(path, blob):
+            path.write_bytes(  # repro: ignore[RPR006] fault harness
+                blob
+            )
+    """
+    assert rpr006(src) == []

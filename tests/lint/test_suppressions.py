@@ -116,5 +116,12 @@ def test_findings_are_sorted_and_renderable():
 
 
 def test_rule_catalogue_is_complete():
-    assert list(all_rules()) == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+    assert list(all_rules()) == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+    ]
     assert all(summary for summary in all_rules().values())

@@ -1,0 +1,58 @@
+"""Shared fixtures for the sweep subsystem tests.
+
+The canonical baseline everywhere is the *serial* ``solve_many`` run:
+the sweep's crash-safety contract is that any interrupted-and-resumed
+execution merges to reports byte-identical to that baseline, modulo the
+sanctioned ``wall_time`` fields.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.api import RunConfig, solve_many
+from repro.graphs.families import get_family
+from repro.io import run_report_to_dict
+
+ALGORITHMS = ["greedy", "degree_two"]
+
+
+def make_instances(count: int = 4, size: int = 10):
+    family = get_family("tree")
+    return [
+        ({"family": "tree", "size": size, "seed": seed}, family.make(size, seed))
+        for seed in range(count)
+    ]
+
+
+def canonical(report_dicts: list[dict]) -> str:
+    """Reports as comparable JSON, the ``wall_time`` slots stripped."""
+    stripped = copy.deepcopy(report_dicts)
+    for report in stripped:
+        report.pop("wall_time", None)
+    return json.dumps(stripped, sort_keys=True)
+
+
+@pytest.fixture()
+def instances():
+    return make_instances()
+
+
+@pytest.fixture()
+def algorithms():
+    return list(ALGORITHMS)
+
+
+@pytest.fixture(scope="session")
+def serial_canonical() -> str:
+    """The uninterrupted serial baseline for the default fixtures."""
+    reports = solve_many(make_instances(), ALGORITHMS, RunConfig())
+    return canonical([run_report_to_dict(r) for r in reports])
+
+
+@pytest.fixture()
+def canon():
+    return canonical

@@ -1,0 +1,93 @@
+"""`repro sweep run/resume/status`: exit codes and the chaos env gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import FAULT_ENV_VAR
+
+
+def _run_args(tmp_path, *extra):
+    return [
+        "sweep", "run",
+        "--dir", str(tmp_path / "run"),
+        "--families", "tree",
+        "--sizes", "10,12",
+        "--seeds", "0",
+        "--algorithms", "greedy,degree_two",
+        "--shard-size", "2",
+        "--workers", "2",
+        *extra,
+    ]
+
+
+def test_run_status_resume_roundtrip(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+    assert main(_run_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "1/1 shards complete" in out
+    assert (tmp_path / "run" / "reports.json").exists()
+
+    assert main(["sweep", "status", "--dir", str(tmp_path / "run"), "--json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["merged"] is True
+    assert status["pending"] == []
+
+    assert main(["sweep", "resume", "--dir", str(tmp_path / "run"), "--json"]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["complete"] is True
+    assert result["executed"] == []
+
+
+def test_run_refuses_existing_dir_and_unknown_algorithm(tmp_path, capsys, monkeypatch):
+    monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+    assert main(_run_args(tmp_path)) == 0
+    capsys.readouterr()
+    assert main(_run_args(tmp_path)) == 2
+    assert "resume" in capsys.readouterr().err
+
+    other = tmp_path / "other"
+    assert (
+        main(
+            [
+                "sweep", "run", "--dir", str(other),
+                "--families", "tree", "--sizes", "10",
+                "--algorithms", "not_an_algorithm",
+            ]
+        )
+        == 2
+    )
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
+def test_status_on_a_missing_run_dir_errors(tmp_path, capsys):
+    assert main(["sweep", "status", "--dir", str(tmp_path / "nope")]) == 2
+    assert "no sweep manifest" in capsys.readouterr().err
+
+
+def test_chaos_env_drives_injection_and_resume_recovers(
+    tmp_path, capsys, monkeypatch
+):
+    # Driver death is exit 3 (distinct from quarantine's 1), and the
+    # run directory it leaves behind is resumable to completion.
+    monkeypatch.setenv(FAULT_ENV_VAR, "die=1.0")
+    assert main(_run_args(tmp_path, "--shard-size", "1", "--workers", "1")) == 3
+    assert "injected driver death" in capsys.readouterr().err
+
+    monkeypatch.delenv(FAULT_ENV_VAR)
+    assert main(["sweep", "resume", "--dir", str(tmp_path / "run")]) == 0
+    assert "merged reports" in capsys.readouterr().out
+
+
+def test_quarantine_exit_code(tmp_path, capsys, monkeypatch):
+    # A fault that never stops firing quarantines its shards: exit 1.
+    monkeypatch.setenv(FAULT_ENV_VAR, "raise=1.0,attempts=99")
+    assert (
+        main(_run_args(tmp_path, "--max-attempts", "2"))
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "quarantined" in out

@@ -1,0 +1,239 @@
+"""The dispatcher end-to-end: clean runs, every failure mode, resume.
+
+These tests run real process pools and real injected faults (SIGKILLed
+workers, corrupted checkpoints, simulated driver death).  The invariant
+checked everywhere: however a run is interrupted, resumed work merges to
+reports byte-identical to the uninterrupted serial baseline, modulo
+``wall_time``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RunConfig, SimulationSpec, simulate_many
+from repro.io import sim_report_to_dict
+from repro.sweep import (
+    CheckpointStore,
+    FaultInjector,
+    ShardDispatcher,
+    SimulatedProcessDeath,
+    load_manifest,
+    parse_fault_spec,
+    plan_sweep,
+    resume_sweep,
+    run_sweep,
+    sweep_status,
+)
+
+from tests.sweep.conftest import ALGORITHMS, make_instances
+
+NO_SLEEP = {"sleep": lambda seconds: None}
+
+
+def _run(tmp_path, instances, *, faults=None, **options):
+    injector = FaultInjector(parse_fault_spec(faults)) if faults else None
+    options.setdefault("workers", 2)
+    options.setdefault("shard_size", 2)
+    return run_sweep(
+        instances,
+        run_dir=tmp_path / "run",
+        algorithms=ALGORITHMS,
+        config=RunConfig(),
+        injector=injector,
+        **NO_SLEEP,
+        **options,
+    )
+
+
+def test_clean_run_matches_serial(tmp_path, instances, serial_canonical, canon):
+    result = _run(tmp_path, instances)
+    assert result.complete
+    assert result.retries == 0
+    assert result.quarantined == []
+    assert result.reports_path is not None
+    assert canon(result.report_dicts()) == serial_canonical
+    # Every shard completed on its first attempt.
+    assert set(result.attempts.values()) == {1}
+
+
+def test_run_refuses_an_existing_run_dir(tmp_path, instances):
+    _run(tmp_path, instances)
+    with pytest.raises(ValueError, match="resume"):
+        _run(tmp_path, instances)
+
+
+def test_injected_task_failure_retries(
+    tmp_path, instances, serial_canonical, canon
+):
+    result = _run(tmp_path, instances, faults="raise=1.0,attempts=1")
+    assert result.complete
+    assert result.retries > 0
+    assert any("InjectedFault" in msg for msgs in result.errors.values() for msg in msgs)
+    assert canon(result.report_dicts()) == serial_canonical
+
+
+def test_sigkilled_worker_rebuilds_pool_and_retries(
+    tmp_path, instances, serial_canonical, canon
+):
+    result = _run(tmp_path, instances, faults="kill=1.0,attempts=1")
+    assert result.complete
+    assert result.retries > 0
+    assert any(
+        "pool broken" in msg for msgs in result.errors.values() for msg in msgs
+    )
+    assert canon(result.report_dicts()) == serial_canonical
+
+
+def test_hung_shard_times_out_and_retries(
+    tmp_path, instances, serial_canonical, canon
+):
+    result = _run(
+        tmp_path,
+        instances,
+        faults="hang=1.0,attempts=1,hang_s=1.5",
+        shard_timeout=0.3,
+    )
+    assert result.complete
+    assert result.retries > 0
+    assert any("timed out" in msg for msgs in result.errors.values() for msg in msgs)
+    assert canon(result.report_dicts()) == serial_canonical
+
+
+def test_poison_shard_is_quarantined_without_aborting(tmp_path, instances):
+    # attempts=99: the fault never stops firing, so the shard exhausts
+    # its budget; the other shard must still complete.
+    result = _run(
+        tmp_path, instances, faults="raise=1.0,attempts=99", max_attempts=2
+    )
+    assert not result.complete
+    assert result.quarantined == ["s00000", "s00001"]
+    store = CheckpointStore(tmp_path / "run")
+    for shard_id in result.quarantined:
+        record = store.quarantined()[shard_id]
+        assert record["attempts"] == 2
+        assert len(record["errors"]) == 2
+    # Resume without the fault gives quarantined shards fresh attempts.
+    resumed = resume_sweep(tmp_path / "run", workers=2, **NO_SLEEP)
+    assert resumed.complete
+    assert store.quarantined() == {}
+
+
+def test_corrupted_checkpoints_fail_completion_then_resume(
+    tmp_path, instances, serial_canonical, canon
+):
+    result = _run(tmp_path, instances, faults="corrupt=1.0,attempts=1")
+    # The shards executed, but their checkpoints were damaged after the
+    # rename: completion is re-proved from disk, so the run is incomplete.
+    assert not result.complete
+    assert result.reports_path is None
+    resumed = resume_sweep(tmp_path / "run", workers=2, **NO_SLEEP)
+    assert resumed.complete
+    assert canon(resumed.report_dicts()) == serial_canonical
+
+
+def test_truncated_checkpoints_fail_completion_then_resume(tmp_path, instances):
+    result = _run(tmp_path, instances, faults="truncate=1.0,attempts=1")
+    assert not result.complete
+    resumed = resume_sweep(tmp_path / "run", workers=2, **NO_SLEEP)
+    assert resumed.complete
+
+
+def test_driver_death_resumes_without_recomputing(
+    tmp_path, instances, serial_canonical, canon
+):
+    with pytest.raises(SimulatedProcessDeath):
+        _run(tmp_path, instances, faults="die=1.0", workers=1)
+    run_dir = tmp_path / "run"
+    manifest = load_manifest(run_dir)
+    survived = CheckpointStore(run_dir).completed_ids(manifest)
+    assert len(survived) == 1, "died right after the first checkpoint"
+    resumed = resume_sweep(run_dir, workers=2, **NO_SLEEP)
+    assert resumed.complete
+    # Only the missing shard re-executed; the survivor was served from disk.
+    assert sorted(resumed.executed) == sorted(
+        shard.id for shard in manifest.shards if shard.id not in survived
+    )
+    assert canon(resumed.report_dicts()) == serial_canonical
+
+
+def test_resume_of_a_complete_run_is_a_no_op(tmp_path, instances):
+    _run(tmp_path, instances)
+    resumed = resume_sweep(tmp_path / "run", workers=2, **NO_SLEEP)
+    assert resumed.complete
+    assert resumed.executed == []
+    assert resumed.retries == 0
+
+
+def test_simulate_sweep_matches_simulate_many(tmp_path, canon):
+    instances = make_instances(3)
+    specs = [SimulationSpec(algorithm="degree_two")]
+    serial = canon(
+        [sim_report_to_dict(r) for r in simulate_many(instances, specs)]
+    )
+    result = run_sweep(
+        instances,
+        run_dir=tmp_path / "run",
+        specs=specs,
+        shard_size=2,
+        workers=2,
+        **NO_SLEEP,
+    )
+    assert result.complete
+    assert result.kind == "simulate"
+    assert canon(result.report_dicts()) == serial
+
+
+def test_sweep_status_reports_progress(tmp_path, instances):
+    with pytest.raises(SimulatedProcessDeath):
+        _run(
+            tmp_path,
+            instances,
+            faults="die=1.0",
+            workers=1,
+        )
+    status = sweep_status(tmp_path / "run")
+    assert status["kind"] == "solve"
+    assert status["shards"] == 2
+    assert status["instances"] == 4
+    assert len(status["completed"]) == 1
+    assert len(status["pending"]) == 1
+    assert status["merged"] is False
+    resume_sweep(tmp_path / "run", workers=2, **NO_SLEEP)
+    status = sweep_status(tmp_path / "run")
+    assert status["pending"] == []
+    assert status["merged"] is True
+
+
+def test_duplicate_wire_digests_keep_their_own_meta(tmp_path):
+    # Fan graphs ignore the seed, so these two instances share a wire
+    # digest.  The worker may deduplicate the graph bytes, but each
+    # report must carry its own instance's provenance (regression: the
+    # shared-graph cache once returned the first instance's meta).
+    from repro.graphs.families import get_family
+
+    fan = get_family("fan")
+    instances = [
+        ({"family": "fan", "size": 10, "seed": seed}, fan.make(10, seed))
+        for seed in (0, 1)
+    ]
+    result = _run(tmp_path, instances, shard_size=2)
+    assert result.complete
+    seeds = sorted(
+        r["instance"]["seed"] for r in result.report_dicts() if r["algorithm"] == "greedy"
+    )
+    assert seeds == [0, 1]
+
+
+def test_backoff_is_seeded_and_exponential(tmp_path, instances):
+    manifest = plan_sweep(instances, algorithms=ALGORITHMS, seed=5)
+    store = CheckpointStore(tmp_path)
+    dispatcher = ShardDispatcher(manifest, store, **NO_SLEEP)
+    again = ShardDispatcher(manifest, store, **NO_SLEEP)
+    delays = [dispatcher.backoff_delay("s00000", attempt) for attempt in range(3)]
+    assert delays == [again.backoff_delay("s00000", attempt) for attempt in range(3)]
+    # Exponential envelope with jitter in [0.5x, 1x] of base * 2^attempt.
+    for attempt, delay in enumerate(delays):
+        ceiling = dispatcher.backoff_base * (2**attempt)
+        assert ceiling / 2 <= delay <= ceiling
+    assert delays[2] > delays[0]

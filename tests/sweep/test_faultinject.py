@@ -1,0 +1,110 @@
+"""The seeded fault harness: grammar, determinism, injection sites."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    FAULT_ENV_VAR,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    SimulatedProcessDeath,
+    injector_from_env,
+    parse_fault_spec,
+)
+
+
+def test_parse_grammar():
+    spec = parse_fault_spec("kill=1.0,corrupt=0.5,seed=7,attempts=2,hang_s=1.5")
+    assert spec.kill == 1.0
+    assert spec.corrupt == 0.5
+    assert spec.seed == 7
+    assert spec.attempts == 2
+    assert spec.hang_s == 1.5
+    # "raise" is a keyword, so the field is raise_ but the knob is raise.
+    assert parse_fault_spec("raise=0.25").raise_ == 0.25
+    assert parse_fault_spec("raise=0.25").probability("raise") == 0.25
+    assert parse_fault_spec(None) is None
+    assert parse_fault_spec("") is None
+
+
+def test_parse_rejects_unknown_and_malformed_knobs():
+    with pytest.raises(ValueError, match="unknown fault knob"):
+        parse_fault_spec("explode=1.0")
+    with pytest.raises(ValueError, match="key=value"):
+        parse_fault_spec("kill")
+
+
+def test_spec_dict_roundtrip():
+    spec = parse_fault_spec("kill=0.5,raise=0.25,seed=3")
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_env_gating(monkeypatch):
+    monkeypatch.delenv(FAULT_ENV_VAR, raising=False)
+    assert injector_from_env().active is False
+    monkeypatch.setenv(FAULT_ENV_VAR, "die=1.0,seed=9")
+    injector = injector_from_env()
+    assert injector.active is True
+    assert injector.spec.die == 1.0
+    assert injector.spec.seed == 9
+
+
+def test_decisions_are_seeded_and_attempt_gated():
+    first = FaultInjector(parse_fault_spec("kill=0.5,seed=11,attempts=1"))
+    second = FaultInjector(parse_fault_spec("kill=0.5,seed=11,attempts=1"))
+    keys = [f"s{i:05d}" for i in range(50)]
+    decisions = [first.should("kill", key, 0) for key in keys]
+    # Same spec => same decisions, in this process or any other.
+    assert decisions == [second.should("kill", key, 0) for key in keys]
+    # Probability 0.5 over 50 shards actually fires sometimes, not always.
+    assert any(decisions) and not all(decisions)
+    # attempts=1 means retries (attempt >= 1) never fault: chaos runs end.
+    assert not any(first.should("kill", key, 1) for key in keys)
+    # A different seed decides differently somewhere.
+    reseeded = FaultInjector(parse_fault_spec("kill=0.5,seed=12,attempts=1"))
+    assert decisions != [reseeded.should("kill", key, 0) for key in keys]
+
+
+def test_inactive_injector_is_a_no_op(tmp_path):
+    injector = FaultInjector(None)
+    assert injector.active is False
+    path = tmp_path / "checkpoint.json"
+    path.write_text("{}")
+    injector.maybe_kill("s00000", 0)
+    injector.maybe_raise("s00000", 0)
+    injector.maybe_hang("s00000", 0)
+    injector.maybe_die(1)
+    assert injector.maybe_damage_checkpoint(path, "s00000", 0) is None
+    assert path.read_text() == "{}"
+
+
+def test_maybe_raise_and_maybe_die():
+    injector = FaultInjector(parse_fault_spec("raise=1.0,die=1.0"))
+    with pytest.raises(InjectedFault, match="s00003"):
+        injector.maybe_raise("s00003", 0)
+    with pytest.raises(SimulatedProcessDeath, match="after 2 checkpointed"):
+        injector.maybe_die(2)
+
+
+def test_checkpoint_damage_defeats_json(tmp_path):
+    payload = json.dumps({"schema": 1, "reports": [[1, 2, 3]] * 10})
+    corrupt_path = tmp_path / "corrupt.json"
+    corrupt_path.write_text(payload)
+    corrupter = FaultInjector(parse_fault_spec("corrupt=1.0"))
+    assert corrupter.maybe_damage_checkpoint(corrupt_path, "s00000", 0) == "corrupt"
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(corrupt_path.read_bytes())
+
+    truncate_path = tmp_path / "truncate.json"
+    truncate_path.write_text(payload)
+    truncator = FaultInjector(parse_fault_spec("truncate=1.0"))
+    assert (
+        truncator.maybe_damage_checkpoint(truncate_path, "s00000", 0) == "truncate"
+    )
+    assert len(truncate_path.read_bytes()) < len(payload)
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(truncate_path.read_bytes())

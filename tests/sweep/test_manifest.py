@@ -1,0 +1,125 @@
+"""Shard planning and the durable manifest: shapes, digests, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunConfig, SimulationSpec
+from repro.sweep import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    ManifestError,
+    load_manifest,
+    plan_sweep,
+)
+
+from tests.sweep.conftest import make_instances
+
+
+def test_plan_partitions_instance_major():
+    manifest = plan_sweep(
+        make_instances(5), algorithms=["greedy", "degree_two"], shard_size=2
+    )
+    assert manifest.kind == "solve"
+    assert manifest.shard_ids == ["s00000", "s00001", "s00002"]
+    assert [len(s.instances) for s in manifest.shards] == [2, 2, 1]
+    # Every shard carries the whole algorithm list (instance-major).
+    assert manifest.algorithms == ("greedy", "degree_two")
+    # The planner preserves instance order across the shard boundary.
+    seeds = [
+        ref.meta["seed"] for shard in manifest.shards for ref in shard.instances
+    ]
+    assert seeds == [0, 1, 2, 3, 4]
+
+
+def test_plan_is_deterministic():
+    first = plan_sweep(make_instances(3), algorithms=["greedy"], shard_size=2)
+    second = plan_sweep(make_instances(3), algorithms=["greedy"], shard_size=2)
+    assert [s.digest for s in first.shards] == [s.digest for s in second.shards]
+    assert first.to_dict() == second.to_dict()
+
+
+def test_shard_digest_covers_the_workload():
+    base = plan_sweep(make_instances(2), algorithms=["greedy"], shard_size=2)
+    other_algorithms = plan_sweep(
+        make_instances(2), algorithms=["degree_two"], shard_size=2
+    )
+    other_config = plan_sweep(
+        make_instances(2),
+        algorithms=["greedy"],
+        config=RunConfig(validate="none"),
+        shard_size=2,
+    )
+    other_instances = plan_sweep(
+        make_instances(2, size=12), algorithms=["greedy"], shard_size=2
+    )
+    digests = {
+        plan.shards[0].digest
+        for plan in (base, other_algorithms, other_config, other_instances)
+    }
+    assert len(digests) == 4, "any workload change must change the digest"
+
+
+def test_plan_rejects_bad_arguments():
+    with pytest.raises(ValueError, match="either 'algorithms' or 'specs'"):
+        plan_sweep(make_instances(1))
+    with pytest.raises(ValueError, match="either 'algorithms' or 'specs'"):
+        plan_sweep(make_instances(1), algorithms=["greedy"], specs=["greedy"])
+    with pytest.raises(ValueError, match="shard_size"):
+        plan_sweep(make_instances(1), algorithms=["greedy"], shard_size=0)
+    with pytest.raises(ValueError, match="zero instances"):
+        plan_sweep([], algorithms=["greedy"])
+    with pytest.raises(ValueError, match="no algorithms"):
+        plan_sweep(make_instances(1), algorithms=[])
+
+
+def test_write_load_roundtrip(tmp_path):
+    manifest = plan_sweep(
+        make_instances(3),
+        algorithms="greedy",  # bare string promotes to a one-element list
+        config=RunConfig(validate="ratio"),
+        shard_size=2,
+        seed=7,
+    )
+    manifest.write(tmp_path)
+    loaded = load_manifest(tmp_path)
+    assert loaded.kind == "solve"
+    assert loaded.seed == 7
+    assert loaded.algorithms == ("greedy",)
+    assert loaded.config.validate == "ratio"
+    assert loaded.shard_ids == manifest.shard_ids
+    assert [s.digest for s in loaded.shards] == [s.digest for s in manifest.shards]
+    # Embedded wires materialise back into equivalent graphs.
+    meta, graph = loaded.shards[0].instances[0].materialise()
+    assert meta["seed"] == 0
+    assert graph.number_of_nodes() == 10
+
+
+def test_simulate_plan_roundtrip(tmp_path):
+    manifest = plan_sweep(
+        make_instances(2),
+        specs=[SimulationSpec(algorithm="degree_two")],
+        shard_size=1,
+    )
+    assert manifest.kind == "simulate"
+    manifest.write(tmp_path)
+    loaded = load_manifest(tmp_path)
+    assert loaded.kind == "simulate"
+    assert [spec.algorithm for spec in loaded.specs] == ["degree_two"]
+
+
+def test_load_rejects_missing_torn_and_future_manifests(tmp_path):
+    with pytest.raises(ManifestError, match="no sweep manifest"):
+        load_manifest(tmp_path)
+    path = tmp_path / MANIFEST_NAME
+    path.write_text('{"schema": 1, "kind": "solve"')
+    with pytest.raises(ManifestError, match="unreadable"):
+        load_manifest(tmp_path)
+    path.write_text(json.dumps({"schema": MANIFEST_SCHEMA + 1, "kind": "solve"}))
+    with pytest.raises(ManifestError, match="schema"):
+        load_manifest(tmp_path)
+    path.write_text(json.dumps({"schema": MANIFEST_SCHEMA, "kind": "mystery"}))
+    with pytest.raises(ManifestError, match="unknown kind"):
+        load_manifest(tmp_path)

@@ -1,0 +1,103 @@
+"""Checkpoint store: atomic persistence, proof-of-completion, merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import CheckpointCorruptError, CheckpointStore, plan_sweep
+
+from tests.sweep.conftest import make_instances
+
+
+@pytest.fixture()
+def manifest():
+    return plan_sweep(make_instances(3), algorithms=["greedy"], shard_size=1)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path)
+
+
+def _fill(store, manifest):
+    for index, shard in enumerate(manifest.shards):
+        store.write_checkpoint(shard.id, shard.digest, [{"report": index}])
+
+
+def test_checkpoint_roundtrip(store, manifest):
+    shard = manifest.shards[0]
+    store.write_checkpoint(shard.id, shard.digest, [{"report": 1}])
+    assert store.read_checkpoint(shard.id, shard.digest) == [{"report": 1}]
+    assert store.completed_ids(manifest) == {shard.id}
+
+
+def test_checkpoint_must_prove_completion(store, manifest):
+    shard = manifest.shards[0]
+    # Missing file.
+    assert store.read_checkpoint(shard.id, shard.digest) is None
+    # Digest mismatch: a checkpoint from a different plan does not count.
+    store.write_checkpoint(shard.id, "0" * 64, [{"report": 1}])
+    assert store.read_checkpoint(shard.id, shard.digest) is None
+    # Torn JSON.
+    store.write_checkpoint(shard.id, shard.digest, [{"report": 1}])
+    path = store.checkpoint_path(shard.id)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert store.read_checkpoint(shard.id, shard.digest) is None
+    # Wrong schema.
+    data = {
+        "schema": 999,
+        "shard": shard.id,
+        "spec_digest": shard.digest,
+        "reports": [],
+    }
+    path.write_text(json.dumps(data))
+    assert store.read_checkpoint(shard.id, shard.digest) is None
+    assert store.completed_ids(manifest) == set()
+
+
+def test_rewrite_overwrites_atomically(store, manifest):
+    shard = manifest.shards[0]
+    store.write_checkpoint(shard.id, shard.digest, [{"attempt": 1}])
+    store.write_checkpoint(shard.id, shard.digest, [{"attempt": 2}])
+    assert store.read_checkpoint(shard.id, shard.digest) == [{"attempt": 2}]
+    # No temp-file litter from the atomic writes.
+    litter = [p.name for p in store.checkpoint_dir.iterdir() if p.suffix == ".tmp"]
+    assert litter == []
+
+
+def test_merge_preserves_shard_order(store, manifest):
+    _fill(store, manifest)
+    merged = store.merge_report_dicts(manifest)
+    assert merged == [{"report": 0}, {"report": 1}, {"report": 2}]
+    path = store.write_merged(manifest)
+    assert json.loads(path.read_text()) == merged
+
+
+def test_merge_names_the_offending_shard(store, manifest):
+    _fill(store, manifest)
+    missing = manifest.shards[1]
+    store.checkpoint_path(missing.id).unlink()
+    with pytest.raises(CheckpointCorruptError, match=f"{missing.id} is missing"):
+        store.merge_report_dicts(manifest)
+    store.write_checkpoint(missing.id, missing.digest, [{"report": 1}])
+    corrupt = manifest.shards[2]
+    store.checkpoint_path(corrupt.id).write_text("{garbage")
+    with pytest.raises(
+        CheckpointCorruptError, match=f"{corrupt.id} is corrupt or stale"
+    ):
+        store.merge_report_dicts(manifest)
+
+
+def test_quarantine_records(store):
+    record = {"shard": "s00001", "attempts": 3, "errors": ["boom"]}
+    store.write_failure("s00001", record)
+    assert store.quarantined() == {"s00001": record}
+    store.clear_failure("s00001")
+    assert store.quarantined() == {}
+    store.clear_failure("s00001")  # idempotent on a missing record
+    # An unreadable record still marks the shard as quarantined.
+    store.failure_dir.mkdir(parents=True, exist_ok=True)
+    (store.failure_dir / "s00002.json").write_text("{torn")
+    assert store.quarantined()["s00002"]["error"] == "unreadable record"
