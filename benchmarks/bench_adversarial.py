@@ -1,0 +1,214 @@
+"""Adversarial-layer benchmark: S12 degradation grid + byte-identity.
+
+Runs the S12 sweep (churn rate × Byzantine fraction for every default
+engine-capable protocol) and the adversarial layer's two reproducibility
+contracts, then writes ``benchmarks/BENCH_adversarial.json``:
+
+* ``degradation`` — the S12 table: achieved ratio/coverage measured on
+  the graph each run *ended* on, side by side with the fault-free twin
+  (``agree`` must be true in the rate-0/fraction-0 column);
+* ``benign_identity`` — a spec with empty churn/Byzantine plans must
+  serialize byte-identically to the plain spec it decays to: the
+  adversarial layer costs nothing when unused;
+* ``determinism`` — the same adversarial batch run serially and with
+  ``workers=4`` must produce byte-identical report JSON, and a repeated
+  single adversarial run must reproduce exactly.
+
+Run as a script for the CI smoke (``python benchmarks/bench_adversarial.py
+--quick``) or in full (``python benchmarks/bench_adversarial.py``) to
+regenerate ``BENCH_adversarial.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import (
+    ByzantinePlan,
+    ChurnPlan,
+    SimulationSpec,
+    simulate,
+    simulate_many,
+)
+from repro.experiments.sweeps import adversarial_degradation_sweep, render_rows
+from repro.graphs.families import get_family
+from repro.io import sim_report_to_dict
+
+RESULT_PATH = Path(__file__).parent / "BENCH_adversarial.json"
+
+#: The adversarial batch the determinism probes run (one graph, three
+#: specs spanning churn, Byzantine behaviors, and the async scheduler).
+PROBE_SPECS = (
+    SimulationSpec(
+        algorithm="d2",
+        seed=1,
+        max_rounds=64,
+        churn=ChurnPlan(rate=0.3, until=4),
+    ),
+    SimulationSpec(
+        algorithm="greedy",
+        seed=1,
+        max_rounds=64,
+        byzantine=ByzantinePlan(((0, "lie"), (3, "babble"))),
+    ),
+    SimulationSpec(
+        algorithm="degree_two",
+        model="async",
+        delay=2,
+        seed=1,
+        max_rounds=64,
+        churn=ChurnPlan(rate=0.2, until=3),
+        byzantine=ByzantinePlan(((2, "equivocate"),)),
+    ),
+)
+
+
+def _report_json(report) -> str:
+    return json.dumps(sim_report_to_dict(report), sort_keys=True)
+
+
+def measure_degradation(quick: bool) -> dict:
+    rates = (0.0, 0.3) if quick else (0.0, 0.1, 0.3)
+    fractions = (0.0, 0.25) if quick else (0.0, 0.25, 0.5)
+    start = time.perf_counter()
+    rows = adversarial_degradation_sweep(
+        churn_rates=rates, byz_fractions=fractions
+    )
+    elapsed = time.perf_counter() - start
+    return {"rows": rows, "elapsed_s": round(elapsed, 3)}
+
+
+def measure_benign_identity() -> dict:
+    """Empty plans must decay to the plain spec, byte for byte."""
+    graph = get_family("tree").make(20, 0)
+    plain = SimulationSpec(algorithm="d2", model="congest", budget=8)
+    decayed = SimulationSpec(
+        algorithm="d2",
+        model="congest",
+        budget=8,
+        churn=ChurnPlan(),
+        byzantine=ByzantinePlan(),
+    )
+    left = _report_json(simulate(graph, plain))
+    right = _report_json(simulate(graph, decayed))
+    return {"identical": left == right}
+
+
+def measure_determinism() -> dict:
+    graphs = [get_family("tree").make(14, 0), get_family("cactus").make(14, 1)]
+    serial = simulate_many(graphs, PROBE_SPECS, workers=1)
+    pooled = simulate_many(graphs, PROBE_SPECS, workers=4)
+    batch_identical = [_report_json(r) for r in serial] == [
+        _report_json(r) for r in pooled
+    ]
+    twice = [
+        _report_json(simulate(graphs[0], PROBE_SPECS[2])) for _ in range(2)
+    ]
+    return {
+        "reports": len(serial),
+        "workers_identical": batch_identical,
+        "rerun_identical": twice[0] == twice[1],
+    }
+
+
+def run(quick: bool) -> dict:
+    return {
+        "benchmark": "adversarial",
+        "quick": quick,
+        "degradation": measure_degradation(quick),
+        "benign_identity": measure_benign_identity(),
+        "determinism": measure_determinism(),
+    }
+
+
+def check(result: dict, quick: bool) -> list[str]:
+    """Regression assertions; quick mode uses looser CI-safe floors."""
+    failures = []
+    rows = result["degradation"]["rows"]
+    algorithms = sorted({row["algorithm"] for row in rows})
+    if len(algorithms) < 3:
+        failures.append(f"degradation: only {algorithms} covered, need >= 3")
+    fault_free = [
+        row
+        for row in rows
+        if row["churn_rate"] == 0.0 and row["byz_fraction"] == 0.0
+    ]
+    if not fault_free:
+        failures.append("degradation: no fault-free column in the grid")
+    for row in fault_free:
+        if not row["agree"]:
+            failures.append(
+                f"degradation: fault-free {row['algorithm']} run disagrees "
+                "with its twin — the trivial adversary is not transparent"
+            )
+    if not any(
+        not row["agree"] for row in rows if row["byz_fraction"] > 0.0
+    ):
+        failures.append(
+            "degradation: no Byzantine cell changed the outcome — the "
+            "adversary never bit"
+        )
+    ceiling = 120.0 if quick else 600.0
+    if result["degradation"]["elapsed_s"] > ceiling:
+        failures.append(
+            f"degradation: sweep took {result['degradation']['elapsed_s']}s "
+            f"> {ceiling}s"
+        )
+    if not result["benign_identity"]["identical"]:
+        failures.append(
+            "benign_identity: empty plans changed the report bytes"
+        )
+    det = result["determinism"]
+    if not det["workers_identical"]:
+        failures.append("determinism: workers=4 batch differs from serial")
+    if not det["rerun_identical"]:
+        failures.append("determinism: repeated adversarial run differs")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grid + loose floors (CI regression smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the result JSON here (default: only full runs write "
+        "BENCH_adversarial.json)",
+    )
+    args = parser.parse_args(argv)
+    result = run(quick=args.quick)
+    out = args.out if args.out is not None else (None if args.quick else RESULT_PATH)
+    if out is not None:
+        out.write_text(json.dumps(result, indent=1))
+    print(render_rows(result["degradation"]["rows"]))
+    print(
+        f"{'degradation sweep':>24} {len(result['degradation']['rows'])} cells "
+        f"in {result['degradation']['elapsed_s']:.3f}s"
+    )
+    print(
+        f"{'benign identity':>24} "
+        f"identical={result['benign_identity']['identical']}"
+    )
+    det = result["determinism"]
+    print(
+        f"{'determinism':>24} {det['reports']} reports, "
+        f"workers_identical={det['workers_identical']}, "
+        f"rerun_identical={det['rerun_identical']}"
+    )
+    failures = check(result, quick=args.quick)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

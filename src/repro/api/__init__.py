@@ -31,7 +31,14 @@ the CLI choices, `repro algorithms`, Table 1 suites, and sweeps.
 """
 
 from repro.api import algorithms as _builtin  # noqa: F401  (registers specs)
-from repro.api.config import RunConfig, RunReport, instance_meta
+from repro.api.config import (
+    RunConfig,
+    RunReport,
+    instance_meta,
+    parse_byzantine,
+    parse_churn,
+    parse_faults,
+)
 from repro.api.registry import (
     AlgorithmSpec,
     UnknownAlgorithmError,
@@ -47,12 +54,23 @@ from repro.api.simulation import (
     FaultPlan,
     SimReport,
     SimulationSpec,
+    adversarial_degradation,
     simulate,
     simulate_many,
+)
+from repro.local_model.adversary import (
+    BYZANTINE_BEHAVIORS,
+    ByzantinePlan,
+    ChurnEvent,
+    ChurnPlan,
 )
 
 __all__ = [
     "AlgorithmSpec",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantinePlan",
+    "ChurnEvent",
+    "ChurnPlan",
     "FaultPlan",
     "RunConfig",
     "RunReport",
@@ -61,11 +79,15 @@ __all__ = [
     "UnknownAlgorithmError",
     "UnsupportedModeError",
     "WorkerCrashError",
+    "adversarial_degradation",
     "algorithm_names",
     "engine_algorithm_names",
     "get_algorithm",
     "instance_meta",
     "list_algorithms",
+    "parse_byzantine",
+    "parse_churn",
+    "parse_faults",
     "register_algorithm",
     "simulate",
     "simulate_many",

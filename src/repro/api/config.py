@@ -134,14 +134,35 @@ def run_config_from_options(
     )
 
 
+def _vertex_label(label: str):
+    """CLI vertex-label convention: digits mean int labels."""
+    return int(label) if label.lstrip("-").isdigit() else label
+
+
+def _round_suffix(text: str, what: str) -> tuple[str, int | None]:
+    """Split a trailing ``@<round>`` off ``text``; round must parse."""
+    body, at, round_text = text.partition("@")
+    if not at:
+        return body, None
+    if not round_text.isdigit():
+        raise ValueError(
+            f"malformed {what} {text!r}: the part after '@' must be a "
+            f"non-negative integer round, got {round_text!r}"
+        )
+    return body, int(round_text)
+
+
 def parse_faults(text: str | None) -> "FaultPlan | None":
     """Parse a fault-plan string: ``drop=<p>`` and/or ``crash=<v>+<v>``.
 
     The one parser behind the CLI ``--faults`` flag and the serve wire
     schema's string-form ``"faults"`` field (``"drop=0.2,crash=0+4"``),
-    so the accepted grammar cannot drift between entry points.
-    ``None``/empty input means no fault plan.  Raises ``ValueError`` on
-    an unknown knob.
+    so the accepted grammar cannot drift between entry points.  A crash
+    entry may carry a round suffix — ``crash=4@3`` crashes vertex 4 at
+    the start of round 3, mid-run (``@0`` is the same as no suffix: the
+    node never starts).  ``None``/empty input means no fault plan.
+    Raises ``ValueError`` with the offending fragment on malformed
+    specs.
     """
     # Imported lazily: config is a leaf module and the engine pulls in
     # the whole local_model package.
@@ -151,18 +172,154 @@ def parse_faults(text: str | None) -> "FaultPlan | None":
         return None
     drop = 0.0
     crashed: list = []
+    schedule: list = []
     for part in filter(None, (p.strip() for p in text.split(","))):
         key, _, value = part.partition("=")
         if key == "drop":
-            drop = float(value)
+            try:
+                drop = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"malformed drop probability {value!r}: expected a float "
+                    f"in [0, 1], as in drop=0.2"
+                ) from None
         elif key == "crash":
-            for label in filter(None, value.split("+")):
-                crashed.append(int(label) if label.lstrip("-").isdigit() else label)
+            for entry in filter(None, value.split("+")):
+                label, when = _round_suffix(entry, "crash entry")
+                if not label:
+                    raise ValueError(
+                        f"malformed crash entry {entry!r}: missing the vertex "
+                        f"before '@'"
+                    )
+                vertex = _vertex_label(label)
+                if when is None or when == 0:
+                    crashed.append(vertex)
+                else:
+                    schedule.append((vertex, when))
         else:
             raise ValueError(
-                f"unknown fault knob {key!r}; use drop=<p> and/or crash=<v>+<v>"
+                f"unknown fault knob {key!r}; use drop=<p> and/or "
+                f"crash=<v>+<v>[@<round>]"
             )
-    return FaultPlan(drop_probability=drop, crashed=tuple(crashed))
+    return FaultPlan(
+        drop_probability=drop,
+        crashed=tuple(crashed),
+        crash_schedule=tuple(schedule),
+    )
+
+
+def parse_churn(text: str | None) -> "ChurnPlan | None":
+    """Parse a churn-plan string into a :class:`ChurnPlan`.
+
+    Comma-separated parts, shared verbatim by the CLI ``--churn`` flag
+    and the serve schema's string-form ``"churn"`` field:
+
+    * ``rate=<p>`` / ``until=<r>`` — the seeded random edge-flip
+      process: each round ``1..r`` flips one edge with probability
+      ``p``;
+    * ``add:<u>-<v>@<round>`` / ``del:<u>-<v>@<round>`` — explicit edge
+      events;
+    * ``join:<v>@<round>`` or ``join:<v>-<anchor>@<round>`` — a vertex
+      joins (isolated, or attached to ``anchor``);
+    * ``leave:<v>@<round>`` — a vertex departs with its edges.
+
+    Example: ``"rate=0.1,until=20,del:0-1@4,join:9-4@3"``.  Raises
+    ``ValueError`` with the offending fragment on malformed specs.
+    """
+    from repro.local_model.adversary import ChurnEvent, ChurnPlan
+
+    if text is None:
+        return None
+    rate = 0.0
+    until = 0
+    events: list = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        if part.startswith(("add:", "del:", "join:", "leave:")):
+            kind_word, _, spec = part.partition(":")
+            body, when = _round_suffix(spec, f"{kind_word} event")
+            if when is None:
+                raise ValueError(
+                    f"malformed churn event {part!r}: every event needs an "
+                    f"@<round> suffix, as in del:0-1@4"
+                )
+            if kind_word in ("add", "del"):
+                u_text, dash, v_text = body.partition("-")
+                if not dash or not u_text or not v_text:
+                    raise ValueError(
+                        f"malformed churn event {part!r}: {kind_word} takes "
+                        f"two '-'-separated endpoints, as in {kind_word}:0-1@4"
+                    )
+                kind = "add_edge" if kind_word == "add" else "del_edge"
+                events.append(
+                    ChurnEvent(
+                        when, kind, _vertex_label(u_text), _vertex_label(v_text)
+                    )
+                )
+            elif kind_word == "join":
+                u_text, dash, v_text = body.partition("-")
+                if not u_text:
+                    raise ValueError(
+                        f"malformed churn event {part!r}: join takes "
+                        f"<v>[@-<anchor>], as in join:9-4@3"
+                    )
+                anchor = _vertex_label(v_text) if dash and v_text else None
+                events.append(ChurnEvent(when, "join", _vertex_label(u_text), anchor))
+            else:  # leave
+                if not body:
+                    raise ValueError(
+                        f"malformed churn event {part!r}: leave takes one "
+                        f"vertex, as in leave:2@5"
+                    )
+                events.append(ChurnEvent(when, "leave", _vertex_label(body)))
+            continue
+        key, eq, value = part.partition("=")
+        if not eq or key not in ("rate", "until"):
+            raise ValueError(
+                f"unknown churn knob {part!r}; use rate=<p>, until=<r>, or "
+                f"events add:/del:/join:/leave: with an @<round> suffix"
+            )
+        try:
+            if key == "rate":
+                rate = float(value)
+            else:
+                until = int(value)
+        except ValueError:
+            raise ValueError(
+                f"malformed churn knob {part!r}: {key} takes a number"
+            ) from None
+    return ChurnPlan(events=tuple(events), rate=rate, until=until)
+
+
+def parse_byzantine(text: str | None) -> "ByzantinePlan | None":
+    """Parse a Byzantine-plan string into a :class:`ByzantinePlan`.
+
+    Comma-separated ``<behavior>=<v>+<v>`` parts, shared by the CLI
+    ``--byzantine`` flag and the serve schema — e.g.
+    ``"babble=0+3,lie=7"``.  Behaviors come from
+    :data:`~repro.local_model.adversary.BYZANTINE_BEHAVIORS`; an unknown
+    one raises ``ValueError`` listing the valid choices.
+    """
+    from repro.local_model.adversary import BYZANTINE_BEHAVIORS, ByzantinePlan
+
+    if text is None:
+        return None
+    behaviors: list = []
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        behavior, eq, value = part.partition("=")
+        if not eq or behavior not in BYZANTINE_BEHAVIORS:
+            raise ValueError(
+                f"unknown byzantine behavior {behavior!r}; choose from "
+                f"{BYZANTINE_BEHAVIORS}, as in babble=0+3"
+            )
+        labels = [label for label in value.split("+") if label]
+        if not labels:
+            raise ValueError(
+                f"malformed byzantine entry {part!r}: {behavior} needs at "
+                f"least one vertex, as in {behavior}=0+3"
+            )
+        for label in labels:
+            behaviors.append((_vertex_label(label), behavior))
+    return ByzantinePlan(behaviors=tuple(behaviors))
 
 
 def measured_ratio(size: int, optimum_size: int) -> float:

@@ -26,9 +26,15 @@ from typing import Hashable, Iterable, Sequence
 import networkx as nx
 
 import repro.api.algorithms  # noqa: F401  (populates the registry)
-from repro.api.config import instance_meta
+from repro.api.config import instance_meta, measured_ratio
 from repro.api.registry import AlgorithmSpec, get_algorithm
 from repro.api.runner import _normalise_instances
+from repro.local_model.adversary import (
+    ByzantinePlan,
+    ChurnPlan,
+    churned_graph,
+    materialize_churn,
+)
 from repro.local_model.engine import (
     MODELS,
     TRACE_POLICIES,
@@ -64,9 +70,21 @@ class SimulationSpec:
     * ``seed`` — drives the fault RNG and the ``"shuffled"`` identifier
       scheme; recorded for provenance;
     * ``faults`` — optional :class:`~repro.local_model.engine.FaultPlan`
-      (message drop probability, crashed nodes);
+      (message drop probability, crashed nodes, scheduled crashes);
     * ``ids`` — identifier assignment scheme: ``"identity"``,
-      ``"shuffled"`` (seeded by ``seed``), or ``"spread"``.
+      ``"shuffled"`` (seeded by ``seed``), or ``"spread"``;
+    * ``churn`` — optional
+      :class:`~repro.local_model.adversary.ChurnPlan`: the topology
+      changes between rounds (the input graph is copied, never
+      mutated);
+    * ``byzantine`` — optional
+      :class:`~repro.local_model.adversary.ByzantinePlan`: which nodes
+      misbehave, and how;
+    * ``delay`` — per-message delay bound for the ``"async"`` and
+      ``"adversarial"`` models (ignored by LOCAL/CONGEST).
+
+    Leaving ``churn``/``byzantine`` unset (or trivial) and the model at
+    LOCAL/CONGEST reproduces pre-adversarial reports byte-identically.
     """
 
     algorithm: str
@@ -77,6 +95,9 @@ class SimulationSpec:
     seed: int = 0
     faults: FaultPlan | None = None
     ids: str = "identity"
+    churn: ChurnPlan | None = None
+    byzantine: ByzantinePlan | None = None
+    delay: int = 2
 
     def __post_init__(self) -> None:
         if self.model not in MODELS:
@@ -93,6 +114,14 @@ class SimulationSpec:
             raise ValueError(
                 f"unknown identifier scheme {self.ids!r}; choose from {ID_SCHEMES}"
             )
+        if self.churn is not None and not isinstance(self.churn, ChurnPlan):
+            raise ValueError(f"churn must be a ChurnPlan, got {self.churn!r}")
+        if self.byzantine is not None and not isinstance(self.byzantine, ByzantinePlan):
+            raise ValueError(
+                f"byzantine must be a ByzantinePlan, got {self.byzantine!r}"
+            )
+        if self.delay < 0:
+            raise ValueError(f"delay bound must be >= 0, got {self.delay}")
 
     def with_(self, **changes: object) -> "SimulationSpec":
         """A copy with the given fields replaced (frozen-dataclass update)."""
@@ -122,9 +151,24 @@ class SimReport:
     dropped_messages: int = 0
     """Messages lost to the fault plan's ``drop_probability`` RNG."""
     swallowed_messages: int = 0
-    """Messages addressed to crashed nodes (never delivered)."""
+    """Messages addressed to crashed nodes, or caught queued in a node
+    by a scheduled crash (never delivered)."""
     crashed: tuple = ()
     round_stats: list[RoundStats] | None = None
+    delayed_messages: int = 0
+    """Messages the async/adversarial scheduler held >= 1 round."""
+    churn_events: int = 0
+    """Topology-change events applied during the run."""
+    churn_lost_messages: int = 0
+    """In-flight messages invalidated by churn."""
+    suspicion: dict = field(default_factory=dict)
+    """Per-Byzantine-vertex accountability tallies
+    (``behavior``/``deviations``/``detections``)."""
+    failed: tuple = ()
+    """Vertices whose protocol raised under adversarial conditions."""
+    timed_out: bool = False
+    """An adversarial run hit ``max_rounds`` before honest nodes halted
+    (non-termination under attack is a result, not an error)."""
 
     @property
     def chosen(self) -> set:
@@ -196,14 +240,28 @@ def simulate(
             )
         return base
 
+    churn_plan = spec.churn if spec.churn is not None and not spec.churn.is_trivial else None
+    byz_plan = (
+        spec.byzantine
+        if spec.byzantine is not None and not spec.byzantine.is_trivial
+        else None
+    )
+    churn_rounds = None
+    if churn_plan is not None:
+        # Materialize against the caller's graph, then run on a copy —
+        # churn mutates the engine-side topology, never the input.
+        churn_rounds = materialize_churn(churn_plan, graph, spec.seed)
+        graph = graph.copy()
     network = Network(graph, _make_ids(graph, spec))
     engine = SimulationEngine(
         network,
-        scheduler_for(spec.model, spec.budget),
+        scheduler_for(spec.model, spec.budget, delay=spec.delay, seed=spec.seed),
         max_rounds=spec.max_rounds,
         faults=spec.faults,
         trace=spec.trace,
         seed=spec.seed,
+        churn=churn_rounds,
+        byzantine=byz_plan.as_mapping() if byz_plan is not None else None,
     )
     result = engine.run(alg.protocol_factory(graph, spec))
     base.outputs = result.outputs
@@ -213,6 +271,13 @@ def simulate(
     base.dropped_messages = result.dropped_messages
     base.swallowed_messages = result.swallowed_messages
     base.round_stats = result.round_stats
+    base.crashed = result.crashed
+    base.delayed_messages = result.delayed_messages
+    base.churn_events = result.churn_events
+    base.churn_lost_messages = result.churn_lost_messages
+    base.suspicion = result.suspicion
+    base.failed = result.failed
+    base.timed_out = result.timed_out
     return base
 
 
@@ -277,3 +342,79 @@ def simulate_many(
                 "simulate", len(reports), len(tasks), tasks[len(reports)][0]
             ) from error
         return reports
+
+
+def adversarial_degradation(
+    graph: nx.Graph,
+    spec: SimulationSpec | str,
+    *,
+    meta: dict | None = None,
+) -> dict:
+    """Run a spec and its fault-free twin on the same seed; compare.
+
+    The accountability report of the adversarial layer: the twin strips
+    faults, churn, and Byzantine behaviors (and maps the async/
+    adversarial models back to LOCAL), so the two runs differ *only* in
+    what the adversary did.  The achieved solution is then measured
+    against the graph the run actually ended on — churn is
+    re-materialized deterministically from (plan, graph, seed) and
+    replayed up to the round the report stopped at — giving:
+
+    * ``coverage`` — the fraction of final vertices the chosen set
+      dominates;
+    * ``valid`` — whether it still dominates everything;
+    * ``ratio`` — achieved size vs the exact optimum of the final
+      graph (``None`` when the adversary forced an empty answer on a
+      non-empty graph — no ratio flatters a run that chose nothing);
+    * ``baseline_ratio`` / ``agree`` — the fault-free twin's ratio and
+      whether the two chosen sets coincide (``agree`` is the S12
+      fault-free-column check: with a trivial adversary it must be
+      true).
+
+    Returns ``{"report", "baseline", "degradation"}``.
+    """
+    from repro.analysis.domination import is_dominating_set
+    from repro.graphs.kernel import kernel_for
+    from repro.solvers.exact import domination_number
+
+    spec = _as_spec(spec)
+    report = simulate(graph, spec, meta=meta)
+    baseline_spec = spec.with_(
+        faults=None,
+        churn=None,
+        byzantine=None,
+        model="local" if spec.model in ("async", "adversarial") else spec.model,
+    )
+    baseline = simulate(graph, baseline_spec, meta=meta)
+
+    final_graph = churned_graph(graph, spec.churn, spec.seed, report.rounds)
+    final_vertices = set(final_graph.nodes)
+    chosen = tuple(
+        v for v in sorted(report.chosen, key=repr) if v in final_vertices
+    )
+    n_final = final_graph.number_of_nodes()
+    if n_final and chosen:
+        kernel = kernel_for(final_graph)
+        covered = kernel.union_closed_bits(chosen).bit_count()
+    else:
+        covered = 0
+    optimum = domination_number(final_graph) if n_final else 0
+    degradation = {
+        "final_n": n_final,
+        "final_m": final_graph.number_of_edges(),
+        "size": len(chosen),
+        "coverage": covered / n_final if n_final else 1.0,
+        "valid": is_dominating_set(final_graph, chosen),
+        "optimum": optimum,
+        "ratio": (
+            None
+            if n_final and not chosen
+            else measured_ratio(len(chosen), optimum)
+        ),
+        "baseline_size": len(baseline.chosen),
+        "baseline_ratio": measured_ratio(
+            len(baseline.chosen), domination_number(graph) if len(graph) else 0
+        ),
+        "agree": report.chosen == baseline.chosen,
+    }
+    return {"report": report, "baseline": baseline, "degradation": degradation}

@@ -43,7 +43,13 @@ from repro.api import (
     solve,
     solve_many,
 )
-from repro.api.config import SOLVER_BACKENDS, parse_faults, run_config_from_options
+from repro.api.config import (
+    SOLVER_BACKENDS,
+    parse_byzantine,
+    parse_churn,
+    parse_faults,
+    run_config_from_options,
+)
 from repro.api.simulation import ID_SCHEMES
 from repro.graphs.families import FAMILIES, get_family
 from repro.io import run_report_to_dict, sim_report_to_dict
@@ -104,11 +110,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_p.add_argument(
         "--model", default="local", choices=list(MODELS),
-        help="round model: LOCAL (unbounded) or CONGEST (budgeted messages)",
+        help="round model: LOCAL (unbounded), CONGEST (budgeted messages), "
+        "async (seeded delivery delays), or adversarial (worst-case "
+        "delays and reordering)",
     )
     simulate_p.add_argument(
         "--budget", type=int, default=4,
         help="CONGEST cap in identifier units per message",
+    )
+    simulate_p.add_argument(
+        "--delay", type=int, default=2,
+        help="per-message delay bound for --model async/adversarial",
     )
     simulate_p.add_argument("--max-rounds", type=int, default=10_000)
     simulate_p.add_argument(
@@ -121,7 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate_p.add_argument(
         "--faults", default=None, metavar="PLAN",
-        help="fault plan, e.g. 'drop=0.2' or 'drop=0.1,crash=0+4'",
+        help="fault plan, e.g. 'drop=0.2', 'drop=0.1,crash=0+4', or "
+        "round-scoped 'crash=4@3' (vertex 4 crashes at round 3)",
+    )
+    simulate_p.add_argument(
+        "--churn", default=None, metavar="PLAN",
+        help="churn plan: 'rate=<p>,until=<r>' for seeded random edge "
+        "flips and/or events 'add:u-v@r', 'del:u-v@r', 'join:v[-anchor]@r', "
+        "'leave:v@r'",
+    )
+    simulate_p.add_argument(
+        "--byzantine", default=None, metavar="PLAN",
+        help="byzantine plan: '<behavior>=<v>+<v>' parts, behaviors "
+        "silent/babble/equivocate/lie, e.g. 'babble=0+3,lie=7'",
     )
     simulate_p.add_argument(
         "--json", action="store_true", help="emit the SimReport as JSON"
@@ -340,6 +364,9 @@ def _cmd_simulate(args) -> int:
             seed=args.seed,
             faults=faults,
             ids=args.ids,
+            churn=parse_churn(args.churn),
+            byzantine=parse_byzantine(args.byzantine),
+            delay=args.delay,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -380,6 +407,23 @@ def _cmd_simulate(args) -> int:
             f"swallowed={report.swallowed_messages} "
             f"crashed={_display_sorted(report.crashed)}"
         )
+    if report.churn_events or report.delayed_messages:
+        print(
+            f"adversary: churn_events={report.churn_events} "
+            f"churn_lost={report.churn_lost_messages} "
+            f"delayed={report.delayed_messages}"
+        )
+    for v in sorted(report.suspicion, key=repr):
+        tallies = report.suspicion[v]
+        print(
+            f"byzantine {v}: behavior={tallies['behavior']} "
+            f"deviations={tallies['deviations']} "
+            f"detections={tallies['detections']}"
+        )
+    if report.failed:
+        print(f"failed under attack: {_display_sorted(report.failed)}")
+    if report.timed_out:
+        print(f"timed out: honest nodes did not halt within {args.max_rounds} rounds")
     chosen = _display_sorted(report.chosen)
     print(f"halted {report.halted}/{graph.number_of_nodes()} nodes")
     print(f"chosen ({len(chosen)} vertices): {chosen}")

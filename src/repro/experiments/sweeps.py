@@ -272,6 +272,76 @@ def fault_tolerance_sweep(
     return rows
 
 
+def adversarial_degradation_sweep(
+    churn_rates: Sequence[float] = (0.0, 0.1, 0.3),
+    byz_fractions: Sequence[float] = (0.0, 0.25),
+    algorithms: Sequence[str] = ("d2", "degree_two", "greedy"),
+    seed: int = 1,
+    model: str = "local",
+    max_rounds: int = 64,
+) -> list[dict]:
+    """S12: solution-quality degradation under churn × Byzantine nodes.
+
+    For every cell of the (churn rate × Byzantine fraction) grid, each
+    engine-capable protocol runs against the adversary and its fault-free
+    twin on the same seed (:func:`repro.api.adversarial_degradation`).
+    The achieved ratio is measured on the graph the run *ended* on, so
+    churn that deletes a dominated vertex does not flatter the protocol.
+    Byzantine nodes are picked deterministically — the first
+    ``ceil(n · fraction)`` vertices in repr order, behaviors assigned
+    round-robin from :data:`BYZANTINE_BEHAVIORS` — so the rows reproduce
+    exactly.  The fault-free column (rate 0, fraction 0) must report
+    ``agree=True``: with a trivial adversary the twin is the same run.
+    """
+    from repro.api import (
+        BYZANTINE_BEHAVIORS,
+        ByzantinePlan,
+        ChurnPlan,
+        SimulationSpec,
+        adversarial_degradation,
+    )
+
+    graph = _k2t_stress_instance(4, blocks=2)
+    nodes = sorted(graph.nodes, key=repr)
+    rows = []
+    for algorithm in algorithms:
+        for rate in churn_rates:
+            for fraction in byz_fractions:
+                percent = round(fraction * 100)
+                count = -(-len(nodes) * percent // 100)  # ceil(n · fraction)
+                behaviors = tuple(
+                    (nodes[i], BYZANTINE_BEHAVIORS[i % len(BYZANTINE_BEHAVIORS)])
+                    for i in range(count)
+                )
+                spec = SimulationSpec(
+                    algorithm=algorithm,
+                    model=model,
+                    seed=seed,
+                    max_rounds=max_rounds,
+                    churn=ChurnPlan(rate=rate, until=4) if rate else None,
+                    byzantine=ByzantinePlan(behaviors) if behaviors else None,
+                )
+                out = adversarial_degradation(graph, spec)
+                report, degradation = out["report"], out["degradation"]
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "churn_rate": rate,
+                        "byz_fraction": fraction,
+                        "byz_nodes": count,
+                        "rounds": report.rounds,
+                        "churn_events": report.churn_events,
+                        "size": degradation["size"],
+                        "coverage": round(degradation["coverage"], 3),
+                        "valid": degradation["valid"],
+                        "ratio": degradation["ratio"],
+                        "agree": degradation["agree"],
+                        "timed_out": report.timed_out,
+                    }
+                )
+    return rows
+
+
 def congest_gather_inflation(budgets: Sequence[int] = (1, 2, 4, 8)) -> list[dict]:
     """S9: round inflation of radius-2 gathering under CONGEST budgets.
 

@@ -221,13 +221,23 @@ def run_report_from_dict(data: dict) -> "RunReport":
 
 
 def fault_plan_to_dict(plan: "FaultPlan | None") -> dict | None:
-    """JSON-ready dict for a :class:`repro.api.FaultPlan` (or ``None``)."""
+    """JSON-ready dict for a :class:`repro.api.FaultPlan` (or ``None``).
+
+    ``crash_schedule`` is emitted only when non-empty, so pre-existing
+    fault-plan JSON stays byte-identical.
+    """
     if plan is None:
         return None
-    return {
+    data = {
         "drop_probability": plan.drop_probability,
         "crashed": sorted(plan.crashed, key=repr),
     }
+    if plan.crash_schedule:
+        data["crash_schedule"] = sorted(
+            ([v, when] for v, when in plan.crash_schedule),
+            key=lambda entry: (entry[1], repr(entry[0])),
+        )
+    return data
 
 
 def fault_plan_from_dict(data: dict | None) -> "FaultPlan | None":
@@ -239,12 +249,87 @@ def fault_plan_from_dict(data: dict | None) -> "FaultPlan | None":
     return FaultPlan(
         drop_probability=data.get("drop_probability", 0.0),
         crashed=tuple(_vertex_from_json(v) for v in data.get("crashed", ())),
+        crash_schedule=tuple(
+            (_vertex_from_json(v), when)
+            for v, when in data.get("crash_schedule", ())
+        ),
+    )
+
+
+def churn_plan_to_dict(plan: "ChurnPlan | None") -> dict | None:
+    """JSON-ready dict for a :class:`~repro.local_model.adversary.ChurnPlan`.
+
+    Events travel as ``[round, kind, u, v]`` quadruples in plan order
+    (application order matters within a round).
+    """
+    if plan is None:
+        return None
+    return {
+        "events": [[e.round, e.kind, e.u, e.v] for e in plan.events],
+        "rate": plan.rate,
+        "until": plan.until,
+    }
+
+
+def churn_plan_from_dict(data: dict | None) -> "ChurnPlan | None":
+    """Inverse of :func:`churn_plan_to_dict`."""
+    from repro.local_model.adversary import ChurnEvent, ChurnPlan
+
+    if data is None:
+        return None
+    return ChurnPlan(
+        events=tuple(
+            ChurnEvent(
+                round=round_index,
+                kind=kind,
+                u=_vertex_from_json(u),
+                v=_vertex_from_json(v),
+            )
+            for round_index, kind, u, v in data.get("events", ())
+        ),
+        rate=data.get("rate", 0.0),
+        until=data.get("until", 0),
+    )
+
+
+def byzantine_plan_to_dict(plan: "ByzantinePlan | None") -> dict | None:
+    """JSON-ready dict for a
+    :class:`~repro.local_model.adversary.ByzantinePlan` (vertex-sorted
+    for deterministic bytes)."""
+    if plan is None:
+        return None
+    return {
+        "behaviors": [
+            [v, behavior]
+            for v, behavior in sorted(plan.behaviors, key=lambda p: repr(p[0]))
+        ]
+    }
+
+
+def byzantine_plan_from_dict(data: dict | None) -> "ByzantinePlan | None":
+    """Inverse of :func:`byzantine_plan_to_dict`."""
+    from repro.local_model.adversary import ByzantinePlan
+
+    if data is None:
+        return None
+    return ByzantinePlan(
+        behaviors=tuple(
+            (_vertex_from_json(v), behavior)
+            for v, behavior in data.get("behaviors", ())
+        )
     )
 
 
 def sim_spec_to_dict(spec: "SimulationSpec") -> dict:
-    """JSON-ready dict for a :class:`repro.api.SimulationSpec`."""
-    return {
+    """JSON-ready dict for a :class:`repro.api.SimulationSpec`.
+
+    Adversarial fields are *default-skipping*: ``churn``/``byzantine``
+    appear only when set and non-trivial, ``delay`` only when it
+    differs from the default — so specs without adversarial features
+    serialise to exactly their pre-adversarial bytes (and a trivial
+    plan deliberately round-trips to ``None``).
+    """
+    data = {
         "algorithm": spec.algorithm,
         "model": spec.model,
         "budget": spec.budget,
@@ -254,6 +339,13 @@ def sim_spec_to_dict(spec: "SimulationSpec") -> dict:
         "faults": fault_plan_to_dict(spec.faults),
         "ids": spec.ids,
     }
+    if spec.churn is not None and not spec.churn.is_trivial:
+        data["churn"] = churn_plan_to_dict(spec.churn)
+    if spec.byzantine is not None and not spec.byzantine.is_trivial:
+        data["byzantine"] = byzantine_plan_to_dict(spec.byzantine)
+    if spec.delay != 2:
+        data["delay"] = spec.delay
+    return data
 
 
 def sim_spec_from_dict(data: dict) -> "SimulationSpec":
@@ -269,6 +361,9 @@ def sim_spec_from_dict(data: dict) -> "SimulationSpec":
         seed=data.get("seed", 0),
         faults=fault_plan_from_dict(data.get("faults")),
         ids=data.get("ids", "identity"),
+        churn=churn_plan_from_dict(data.get("churn")),
+        byzantine=byzantine_plan_from_dict(data.get("byzantine")),
+        delay=data.get("delay", 2),
     )
 
 
@@ -278,9 +373,11 @@ def sim_report_to_dict(report: "SimReport") -> dict:
     ``outputs`` is a vertex-sorted pair list (JSON objects cannot carry
     non-string keys); non-JSON-able outputs are dropped, like result
     metadata.  The layout contains no wall-clock data, so equal runs
-    serialise to equal bytes.
+    serialise to equal bytes.  Adversarial tallies (delays, churn,
+    suspicion, failures, timeout) are default-skipping: a benign run's
+    JSON is byte-identical to the pre-adversarial layout.
     """
-    return {
+    data = {
         "algorithm": report.algorithm,
         "problem": report.problem,
         "model": report.model,
@@ -308,6 +405,24 @@ def sim_report_to_dict(report: "SimReport") -> dict:
             for s in report.round_stats
         ],
     }
+    if report.delayed_messages:
+        data["delayed_messages"] = report.delayed_messages
+    if report.churn_events:
+        data["churn_events"] = report.churn_events
+    if report.churn_lost_messages:
+        data["churn_lost_messages"] = report.churn_lost_messages
+    if report.suspicion:
+        data["suspicion"] = [
+            [v, tallies]
+            for v, tallies in sorted(
+                report.suspicion.items(), key=lambda kv: repr(kv[0])
+            )
+        ]
+    if report.failed:
+        data["failed"] = sorted(report.failed, key=repr)
+    if report.timed_out:
+        data["timed_out"] = True
+    return data
 
 
 def _vertex_from_json(value: object) -> object:
@@ -343,6 +458,15 @@ def sim_report_from_dict(data: dict) -> "SimReport":
         swallowed_messages=data.get("swallowed_messages", 0),
         crashed=tuple(_vertex_from_json(v) for v in data.get("crashed", ())),
         round_stats=round_stats,
+        delayed_messages=data.get("delayed_messages", 0),
+        churn_events=data.get("churn_events", 0),
+        churn_lost_messages=data.get("churn_lost_messages", 0),
+        suspicion={
+            _vertex_from_json(v): dict(tallies)
+            for v, tallies in data.get("suspicion", ())
+        },
+        failed=tuple(_vertex_from_json(v) for v in data.get("failed", ())),
+        timed_out=data.get("timed_out", False),
     )
 
 

@@ -48,6 +48,10 @@ REPORT_MODULE_MARKERS = (
     # Sweep checkpoints and merged reports carry the same byte-identity
     # contract as the batch runners they shard.
     "/sweep/",
+    # Adversarial plans and schedulers feed suspicion/degradation tallies
+    # straight into SimReports, so set-iteration order leaks into output.
+    "/local_model/adversary.py",
+    "/local_model/schedulers.py",
 )
 
 _TIME_CALLS = {

@@ -37,17 +37,23 @@ round.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Hashable, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping, Protocol, runtime_checkable
 
+from repro.local_model.adversary import ByzantineShim, byzantine_rng
 from repro.local_model.algorithm import LocalAlgorithm
 from repro.local_model.instrumentation import RoundStats, Trace, payload_size
 from repro.local_model.network import Network
 from repro.local_model.node import Node, NodeContext
+from repro.local_model.schedulers import (
+    AdversarialScheduler,
+    AsyncScheduler,
+    PendingMessage,
+)
 
 Vertex = Hashable
 
-MODELS = ("local", "congest")
+MODELS = ("local", "congest", "async", "adversarial")
 TRACE_POLICIES = ("full", "stats", "off")
 
 
@@ -147,7 +153,13 @@ class FaultPlan:
     * ``crashed`` — vertices (simulator-side labels) that never start:
       a crashed node runs no algorithm, sends nothing, and swallows
       anything addressed to it (tallied separately from drops, in
-      ``EngineResult.swallowed_messages``).
+      ``EngineResult.swallowed_messages``);
+    * ``crash_schedule`` — ``(vertex, round)`` pairs for *mid-run*
+      crashes: at the start of the given round (1-based) the vertex
+      stops acting, its queued outbound messages are swallowed in the
+      same round, and from then on it behaves like a ``crashed`` node.
+      A scheduled crash of a vertex that is not present when its round
+      comes (it left via churn, or already crashed) is a no-op.
 
     Protocol *correctness* under faults is not guaranteed — that is the
     point: the engine reports what a protocol actually does when the
@@ -156,6 +168,7 @@ class FaultPlan:
 
     drop_probability: float = 0.0
     crashed: tuple = ()
+    crash_schedule: tuple = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability <= 1.0:
@@ -163,10 +176,24 @@ class FaultPlan:
                 f"drop_probability must be in [0, 1], got {self.drop_probability}"
             )
         object.__setattr__(self, "crashed", tuple(self.crashed))
+        schedule = []
+        for entry in self.crash_schedule:
+            vertex, when = entry
+            if not isinstance(when, int) or isinstance(when, bool) or when < 1:
+                raise ValueError(
+                    f"scheduled crash rounds are integers >= 1, got {when!r} "
+                    f"for vertex {vertex!r} (round-0 crashes go in 'crashed')"
+                )
+            schedule.append((vertex, when))
+        object.__setattr__(self, "crash_schedule", tuple(schedule))
 
     @property
     def is_trivial(self) -> bool:
-        return self.drop_probability == 0.0 and not self.crashed
+        return (
+            self.drop_probability == 0.0
+            and not self.crashed
+            and not self.crash_schedule
+        )
 
 
 @dataclass
@@ -186,8 +213,35 @@ class EngineResult:
     dropped_messages: int = 0
     """Messages lost to the fault plan's ``drop_probability`` RNG."""
     swallowed_messages: int = 0
-    """Messages addressed to crashed nodes (never delivered)."""
+    """Messages addressed to crashed nodes, plus outbound messages a
+    scheduled crash caught in a node's queue (never delivered)."""
     crashed: tuple = ()
+    """Every vertex that was crashed by the end of the run: the plan's
+    round-0 crashes plus scheduled crashes that actually fired."""
+    delayed_messages: int = 0
+    """Messages an async/adversarial scheduler held for >= 1 round."""
+    churn_events: int = 0
+    """Topology-change events the churn plan applied during the run."""
+    churn_lost_messages: int = 0
+    """In-flight messages invalidated by churn (sender left, or its
+    queued port no longer exists after an adjacency change)."""
+    suspicion: dict = field(default_factory=dict)
+    """Accountability tallies, keyed by Byzantine vertex (repr-sorted):
+    ``{"behavior", "deviations", "detections"}`` — messages the node
+    suppressed/forged, and how many corrupted messages honest nodes
+    actually received."""
+    failed: tuple = ()
+    """Vertices whose protocol raised while the run was adversarial
+    (churn, Byzantine peers, or a delivery-planning scheduler active):
+    stale or forged inputs paper protocols never planned for.  A failed
+    node stops participating — it is the protocol breaking under
+    attack, recorded instead of raised.  On benign runs exceptions
+    propagate unchanged."""
+    timed_out: bool = False
+    """An adversarial run exhausted ``max_rounds`` without all honest
+    nodes halting (e.g. they waited forever on a silent Byzantine
+    peer).  Recorded instead of raised — non-termination under attack
+    is a result.  Benign runs still raise ``RuntimeError``."""
 
     @property
     def trace(self) -> Trace:
@@ -215,6 +269,8 @@ class SimulationEngine:
         faults: FaultPlan | None = None,
         trace: str = "full",
         seed: int = 0,
+        churn: Mapping[int, tuple] | None = None,
+        byzantine: Mapping[Vertex, str] | None = None,
     ):
         if trace not in TRACE_POLICIES:
             raise ValueError(
@@ -228,42 +284,184 @@ class SimulationEngine:
         self.faults = faults if faults is not None else FaultPlan()
         self.trace_policy = trace
         self.seed = seed
+        # churn arrives pre-materialized (round -> events), the shape
+        # adversary.materialize_churn produces — the engine applies, it
+        # does not plan.
+        self.churn: dict[int, tuple] = {
+            r: tuple(events) for r, events in (churn or {}).items() if events
+        }
+        self.byzantine: dict[Vertex, str] = dict(byzantine or {})
+        joins = {
+            e.u for events in self.churn.values() for e in events if e.kind == "join"
+        }
         unknown = [v for v in self.faults.crashed if v not in network.nodes]
         if unknown:
             raise ValueError(f"crashed vertices not in the network: {unknown!r}")
+        allowed = set(network.nodes) | joins
+        unknown = [v for v, _ in self.faults.crash_schedule if v not in allowed]
+        if unknown:
+            raise ValueError(
+                f"scheduled-crash vertices never in the network: {unknown!r}"
+            )
+        unknown = [v for v in self.byzantine if v not in allowed]
+        if unknown:
+            raise ValueError(f"byzantine vertices never in the network: {unknown!r}")
+        overlap = [v for v in self.byzantine if v in self.faults.crashed]
+        if overlap:
+            raise ValueError(
+                f"vertices cannot be both byzantine and crashed: {overlap!r}"
+            )
+        self._shims: dict[Vertex, ByzantineShim] = {}
         # Adjacency-indexed delivery buffer: routes[v][port] is the
         # (receiver, back port) pair the message on that port lands on.
         # Built straight off the graph kernel's CSR rows: the neighbor
         # on port p of v is indices[indptr[i] + p], and the back port
         # comes from the kernel's precomputed reverse-slot array — no
         # per-edge dictionary chains.
-        kernel = network.kernel
+        self._routes: dict[Vertex, list[tuple[Node, int]]] = {}
+        self._route_rows(network.kernel.labels)
+
+    def _route_rows(self, vertices) -> None:
+        """(Re)build the delivery routes of the given vertices from the
+        network's *current* kernel — the whole graph at construction,
+        just the affected rows after a churn round."""
+        kernel = self.network.kernel
         indptr, indices = kernel.indptr, kernel.indices
         back = kernel.back_ports()
         labels = kernel.labels
-        nodes = network.nodes
-        self._routes: dict[Vertex, list[tuple[Node, int]]] = {
-            v: [
+        nodes = self.network.nodes
+        index_of = kernel.index_of
+        for v in vertices:
+            i = index_of[v]
+            self._routes[v] = [
                 (nodes[labels[indices[s]]], back[s])
                 for s in range(indptr[i], indptr[i + 1])
             ]
-            for i, v in enumerate(labels)
-        }
+
+    def _make_algorithm(
+        self, factory: Callable[[], LocalAlgorithm], vertex: Vertex, uid: int
+    ) -> LocalAlgorithm:
+        """One per-node algorithm instance, Byzantine-wrapped if planned."""
+        inner = factory()
+        behavior = self.byzantine.get(vertex)
+        if behavior is None:
+            return inner
+        shim = ByzantineShim(inner, behavior, byzantine_rng(self.seed, uid))
+        self._shims[vertex] = shim
+        return shim
+
+    def _churn_step(
+        self,
+        events: tuple,
+        live: dict,
+        algorithms: dict,
+        outboxes: dict,
+        pending: list,
+        taint: dict,
+        crashed: set,
+        failed: list,
+        factory: Callable[[], LocalAlgorithm],
+    ) -> int:
+        """Apply one round's churn events; returns messages lost to it.
+
+        Beyond the network's own port re-derivation, the engine must (a)
+        rebuild delivery routes for every vertex whose CSR row changed
+        *and their neighbors* (a changed row moves the back ports of
+        every edge into it), (b) retire in-flight messages whose sender
+        left or whose queued port fell off a shrunken adjacency
+        (surviving ports are re-routed by number — the link is whatever
+        that port points at now), and (c) boot joined vertices through
+        ``on_init`` so they participate from this round on.
+        """
+        network = self.network
+        changed, joined, left = network.apply_churn(events)
+        lost = 0
+        for v in left:
+            live.pop(v, None)
+            algorithms.pop(v, None)
+            self._routes.pop(v, None)
+            stale = outboxes.pop(v, None)
+            if stale:
+                lost += len(stale)
+        rebuild = set(changed)
+        for v in changed:
+            rebuild.update(network.graph.neighbors(v))
+        rebuild &= set(network.nodes)
+        self._route_rows(sorted(rebuild, key=repr))
+        for v in sorted(changed, key=repr):
+            outbox = outboxes.get(v)
+            if not outbox:
+                continue
+            degree = network.nodes[v].degree
+            stale_ports = [p for p in outbox if p >= degree]
+            for p in stale_ports:
+                del outbox[p]
+            lost += len(stale_ports)
+            if not outbox:
+                del outboxes[v]
+        if pending:
+            kept = []
+            for message in pending:
+                node = network.nodes.get(message.sender)
+                if node is None or message.port >= node.degree:
+                    lost += 1
+                else:
+                    kept.append(message)
+            pending[:] = kept
+        for v in joined:
+            node = network.nodes[v]
+            live[v] = node
+            algorithms[v] = self._make_algorithm(factory, v, node.uid)
+            ctx = NodeContext(node)
+            try:
+                algorithms[v].on_init(ctx)
+            except Exception:
+                failed.append(v)
+                crashed.add(v)
+                live.pop(v)
+                algorithms.pop(v, None)
+                continue
+            if ctx.outbox:
+                outboxes[v] = ctx.outbox
+            if v in self.byzantine:
+                taint[v] = self._shims[v].last_changed
+        return lost
 
     def run(self, algorithm_factory: Callable[[], LocalAlgorithm]) -> EngineResult:
         """Run to completion; returns outputs plus the configured trace."""
+        self._shims.clear()
         crashed = set(self.faults.crashed)
         live = {
             v: node for v, node in self.network.nodes.items() if v not in crashed
         }
-        algorithms = {v: algorithm_factory() for v in live}
         ids = self.network.ids
+        byz = self.byzantine
+        algorithms = {
+            v: self._make_algorithm(algorithm_factory, v, ids[v]) for v in live
+        }
         routes = self._routes
         enforce = (
             self.scheduler.admit
             if getattr(self.scheduler, "enforces", True)
             else None
         )
+        # A delivery-planning scheduler (async/adversarial) moves the
+        # engine onto the pending-queue path; LOCAL/CONGEST keep the
+        # direct outbox-to-inbox hot path, bit-for-bit as before.
+        planner = (
+            self.scheduler
+            if getattr(self.scheduler, "plans_delivery", False)
+            else None
+        )
+        churn = self.churn
+        # Under adversarial conditions a protocol may legitimately blow
+        # up on inputs it never planned for (stale phases, forged
+        # payloads); the engine records the node as failed instead of
+        # aborting the run.  Benign runs keep raise-through semantics.
+        shielded = planner is not None or bool(byz) or bool(churn)
+        crash_rounds: dict[int, list[Vertex]] = {}
+        for v, when in self.faults.crash_schedule:
+            crash_rounds.setdefault(when, []).append(v)
         record = self.trace_policy != "off"
         need_units = record or self.scheduler.needs_units
         round_stats: list[RoundStats] | None = (
@@ -277,17 +475,78 @@ class SimulationEngine:
         total_payload = 0
         dropped = 0
         swallowed = 0
+        delayed = 0
+        churn_events = 0
+        churn_lost = 0
+        crash_fired: list[Vertex] = []
+        failed: list[Vertex] = []
+        timed_out = False
+        detections: dict[Vertex, int] = {v: 0 for v in byz}
+        taint: dict[Vertex, frozenset] = {}
+        pending: list[PendingMessage] = []
+        seq = 0
         received: list[Node] = []
 
         outboxes: dict[Vertex, dict[int, object]] = {}
-        for v, node in live.items():
+        for v, node in list(live.items()) if shielded else live.items():
             ctx = NodeContext(node)
-            algorithms[v].on_init(ctx)
+            if shielded:
+                try:
+                    algorithms[v].on_init(ctx)
+                except Exception:
+                    failed.append(v)
+                    crashed.add(v)
+                    live.pop(v)
+                    algorithms.pop(v, None)
+                    continue
+            else:
+                algorithms[v].on_init(ctx)
             if ctx.outbox:
                 outboxes[v] = ctx.outbox
+            if v in byz:
+                taint[v] = self._shims[v].last_changed
 
         for round_index in range(1, self.max_rounds + 1):
-            if all(node.halted for node in live.values()):
+            if churn:
+                events = churn.get(round_index)
+                if events:
+                    churn_events += len(events)
+                    churn_lost += self._churn_step(
+                        events,
+                        live,
+                        algorithms,
+                        outboxes,
+                        pending,
+                        taint,
+                        crashed,
+                        failed,
+                        algorithm_factory,
+                    )
+            if crash_rounds:
+                for v in crash_rounds.get(round_index, ()):
+                    if v not in live:
+                        continue
+                    crashed.add(v)
+                    crash_fired.append(v)
+                    live.pop(v)
+                    algorithms.pop(v, None)
+                    stale = outboxes.pop(v, None)
+                    if stale:
+                        # A mid-run crash swallows the node's queued
+                        # outbound messages in the same round.
+                        swallowed += len(stale)
+                    if pending:
+                        kept = [m for m in pending if m.sender != v]
+                        swallowed += len(pending) - len(kept)
+                        pending[:] = kept
+
+            # Byzantine nodes never count toward termination: a babbler
+            # keeps acting forever, so the run ends when every *honest*
+            # live node has halted.
+            if byz:
+                if all(node.halted for v, node in live.items() if v not in byz):
+                    break
+            elif all(node.halted for node in live.values()):
                 break
 
             # Accounting + admission on the full round snapshot, before
@@ -315,19 +574,72 @@ class SimulationEngine:
             for node in received:
                 node.inbox = {}
             received = []
-            for v, outbox in outboxes.items():
-                sender_routes = routes[v]
-                for port, payload in outbox.items():
+            if planner is None:
+                for v, outbox in outboxes.items():
+                    sender_routes = routes[v]
+                    changed_ports = taint.get(v)
+                    for port, payload in outbox.items():
+                        if rng is not None and rng.random() < drop_p:
+                            dropped += 1
+                            continue
+                        receiver, back_port = sender_routes[port]
+                        if receiver.vertex in crashed:
+                            swallowed += 1
+                            continue
+                        if (
+                            changed_ports is not None
+                            and port in changed_ports
+                            and receiver.vertex not in byz
+                        ):
+                            detections[v] += 1
+                        if not receiver.inbox:
+                            received.append(receiver)
+                        receiver.inbox[back_port] = payload
+            else:
+                # Planned delivery: queue this round's sends with their
+                # scheduler-chosen delays, then hand over everything due
+                # in the scheduler's chosen order.
+                for v, outbox in outboxes.items():
+                    sender_routes = routes[v]
+                    sender_uid = ids[v]
+                    changed_ports = taint.get(v)
+                    for port, payload in outbox.items():
+                        wait = planner.delay(
+                            round_index, seq, sender_uid, sender_routes[port][0].uid
+                        )
+                        if wait > 0:
+                            delayed += 1
+                        pending.append(
+                            PendingMessage(
+                                queued_round=round_index,
+                                seq=seq,
+                                sender=v,
+                                port=port,
+                                payload=payload,
+                                due_round=round_index + wait,
+                                tainted=bool(
+                                    changed_ports is not None
+                                    and port in changed_ports
+                                ),
+                            )
+                        )
+                        seq += 1
+                due = [m for m in pending if m.due_round <= round_index]
+                if due:
+                    pending[:] = [m for m in pending if m.due_round > round_index]
+                for message in planner.order(due):
                     if rng is not None and rng.random() < drop_p:
                         dropped += 1
                         continue
-                    receiver, back_port = sender_routes[port]
+                    receiver, back_port = routes[message.sender][message.port]
                     if receiver.vertex in crashed:
                         swallowed += 1
                         continue
+                    if message.tainted and receiver.vertex not in byz:
+                        detections[message.sender] += 1
                     if not receiver.inbox:
                         received.append(receiver)
-                    receiver.inbox[back_port] = payload
+                    receiver.inbox[back_port] = message.payload
 
             rounds = round_index
             if record:
@@ -343,18 +655,42 @@ class SimulationEngine:
                     )
 
             outboxes = {}
-            for v, node in live.items():
+            if byz:
+                taint = {}
+            for v, node in list(live.items()) if shielded else live.items():
                 if node.halted:
                     continue
                 ctx = NodeContext(node)
-                algorithms[v].on_round(ctx)
+                if shielded:
+                    try:
+                        algorithms[v].on_round(ctx)
+                    except Exception:
+                        failed.append(v)
+                        crashed.add(v)
+                        live.pop(v)
+                        algorithms.pop(v, None)
+                        continue
+                else:
+                    algorithms[v].on_round(ctx)
                 if ctx.outbox and not node.halted:
                     outboxes[v] = ctx.outbox
+                if v in byz:
+                    taint[v] = self._shims[v].last_changed
         else:
-            raise RuntimeError(
-                f"algorithm did not halt within {self.max_rounds} rounds"
-            )
+            if not shielded:
+                raise RuntimeError(
+                    f"algorithm did not halt within {self.max_rounds} rounds"
+                )
+            timed_out = True
 
+        suspicion: dict[Vertex, dict] = {}
+        for v in sorted(byz, key=repr):
+            shim = self._shims.get(v)
+            suspicion[v] = {
+                "behavior": byz[v],
+                "deviations": shim.deviations if shim is not None else 0,
+                "detections": detections.get(v, 0),
+            }
         return EngineResult(
             outputs=self.network.outputs(),
             rounds=rounds,
@@ -363,14 +699,32 @@ class SimulationEngine:
             round_stats=round_stats,
             dropped_messages=dropped,
             swallowed_messages=swallowed,
-            crashed=tuple(self.faults.crashed),
+            crashed=tuple(self.faults.crashed) + tuple(crash_fired),
+            delayed_messages=delayed,
+            churn_events=churn_events,
+            churn_lost_messages=churn_lost,
+            suspicion=suspicion,
+            failed=tuple(failed),
+            timed_out=timed_out,
         )
 
 
-def scheduler_for(model: str, budget: int = 4) -> Scheduler:
-    """Build the scheduler for a model name (``"local"``/``"congest"``)."""
+def scheduler_for(
+    model: str, budget: int = 4, *, delay: int = 2, seed: int = 0
+) -> Scheduler:
+    """Build the scheduler for a model name.
+
+    ``budget`` only matters under ``"congest"``; ``delay`` (the
+    per-message delay bound) and ``seed`` only under ``"async"`` /
+    ``"adversarial"`` (the adversarial policy is deterministic and
+    ignores the seed).
+    """
     if model == "local":
         return LocalScheduler()
     if model == "congest":
         return CongestScheduler(budget)
+    if model == "async":
+        return AsyncScheduler(delay, seed)
+    if model == "adversarial":
+        return AdversarialScheduler(delay)
     raise ValueError(f"unknown model {model!r}; choose from {MODELS}")

@@ -6,7 +6,7 @@ from typing import Hashable
 
 import networkx as nx
 
-from repro.graphs.kernel import GraphKernel, kernel_for
+from repro.graphs.kernel import GraphKernel, invalidate_kernel, kernel_for
 from repro.local_model.identifiers import identity_ids
 from repro.local_model.node import Node
 
@@ -79,6 +79,72 @@ class Network:
                 self.nodes[neighbor].inbox[back_port] = payload
                 delivered += 1
         return delivered
+
+    def apply_churn(self, events) -> tuple[set, list, list]:
+        """Apply one round's churn events; returns (changed, joined, left).
+
+        Mutates the underlying graph, then goes through the kernel
+        mutation contract — ``invalidate_kernel`` on every exit path,
+        fresh ``kernel_for`` — so under ``REPRO_KERNEL_GUARD=1`` no
+        stale CSR can survive a churn round.  Port lists are re-derived
+        *incrementally*: only vertices whose adjacency actually changed
+        (``changed``) get their ports rebuilt, in place on the existing
+        :class:`Node` objects, so untouched delivery routes stay valid.
+
+        ``joined`` vertices get fresh nodes with new unique identifiers
+        (allocated past the current maximum, in event order); ``left``
+        vertices are removed from the network entirely — their outputs,
+        if any, no longer exist.  The caller (the engine) owns route
+        rebuilding and message cleanup.
+        """
+        graph = self.graph
+        changed: set[Vertex] = set()
+        joined: list[Vertex] = []
+        left: list[Vertex] = []
+        try:
+            for event in events:
+                kind = event.kind
+                if kind == "add_edge":
+                    graph.add_edge(event.u, event.v)
+                    changed.update((event.u, event.v))
+                elif kind == "del_edge":
+                    graph.remove_edge(event.u, event.v)
+                    changed.update((event.u, event.v))
+                elif kind == "join":
+                    graph.add_node(event.u)
+                    joined.append(event.u)
+                    changed.add(event.u)
+                    if event.v is not None:
+                        graph.add_edge(event.u, event.v)
+                        changed.add(event.v)
+                else:  # leave
+                    changed.update(graph.neighbors(event.u))
+                    graph.remove_node(event.u)
+                    left.append(event.u)
+                    changed.discard(event.u)
+        finally:
+            invalidate_kernel(graph)
+        self.kernel = kernel_for(graph)
+        changed.difference_update(set(left) - set(joined))
+        for v in left:
+            self.nodes.pop(v, None)
+            self.ids.pop(v, None)
+        next_uid = max(self.ids.values(), default=-1) + 1
+        for v in joined:
+            self.ids[v] = next_uid
+            next_uid += 1
+        labels = self.kernel.labels
+        index_of = self.kernel.index_of
+        for v in joined:
+            ports = [labels[j] for j in self.kernel.neighbor_row(index_of[v])]
+            self.nodes[v] = Node(vertex=v, uid=self.ids[v], ports=ports)
+        for v in changed:
+            if v in self.nodes and v not in joined:
+                self.nodes[v].ports = [
+                    labels[j] for j in self.kernel.neighbor_row(index_of[v])
+                ]
+        self._port_of = None
+        return changed, joined, left
 
     def outputs(self) -> dict[Vertex, object]:
         """Per-vertex outputs of halted nodes."""

@@ -37,6 +37,8 @@ from typing import NamedTuple
 
 from repro.api.config import (
     RunConfig,
+    parse_byzantine,
+    parse_churn,
     parse_faults,
     run_config_from_options,
 )
@@ -49,6 +51,8 @@ from repro.api.simulation import SimulationSpec
 from repro.graphs.families import FAMILIES
 from repro.graphs.kernel import KernelWire, kernel_for
 from repro.io import (
+    byzantine_plan_to_dict,
+    churn_plan_to_dict,
     fault_plan_to_dict,
     graph_from_dict,
     run_config_from_dict,
@@ -246,6 +250,22 @@ def _parse_sim_spec(spec: object) -> SimulationSpec:
             data["faults"] = fault_plan_to_dict(parse_faults(faults))
         except ValueError as error:
             raise SpecError(f"invalid fault plan {faults!r}: {error}") from error
+    churn = data.get("churn")
+    if isinstance(churn, str):
+        try:
+            plan = parse_churn(churn)
+            data["churn"] = None if plan is None else churn_plan_to_dict(plan)
+        except ValueError as error:
+            raise SpecError(f"invalid churn plan {churn!r}: {error}") from error
+    byzantine = data.get("byzantine")
+    if isinstance(byzantine, str):
+        try:
+            plan = parse_byzantine(byzantine)
+            data["byzantine"] = None if plan is None else byzantine_plan_to_dict(plan)
+        except ValueError as error:
+            raise SpecError(
+                f"invalid byzantine plan {byzantine!r}: {error}"
+            ) from error
     try:
         return sim_spec_from_dict(data)
     except (KeyError, TypeError, ValueError) as error:

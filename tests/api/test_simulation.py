@@ -195,3 +195,83 @@ class TestSimulateMany:
 
     def test_empty_batch(self):
         assert simulate_many([], "d2") == []
+
+
+class TestAdversarialSpecs:
+    def _spec(self, **overrides):
+        from repro.api import ByzantinePlan, ChurnEvent, ChurnPlan
+
+        base = dict(
+            algorithm="d2",
+            seed=3,
+            max_rounds=64,
+            churn=ChurnPlan(
+                events=(ChurnEvent(2, "del_edge", 0, 1),), rate=0.2, until=4
+            ),
+            byzantine=ByzantinePlan(((3, "lie"), (5, "silent"))),
+        )
+        base.update(overrides)
+        return SimulationSpec(**base)
+
+    def test_adversarial_spec_roundtrip(self):
+        spec = self._spec(model="async", delay=3)
+        back = sim_spec_from_dict(json.loads(json.dumps(sim_spec_to_dict(spec))))
+        assert back == spec
+
+    def test_adversarial_report_roundtrip(self):
+        report = simulate(gen.fan(8), self._spec())
+        payload = json.loads(json.dumps(sim_report_to_dict(report)))
+        back = sim_report_from_dict(payload)
+        assert sim_report_to_dict(back) == sim_report_to_dict(report)
+        assert back.suspicion == report.suspicion
+        assert back.failed == report.failed
+
+    def test_trivial_plans_leave_no_trace_in_json(self):
+        from repro.api import ByzantinePlan, ChurnPlan
+
+        spec = SimulationSpec(
+            algorithm="d2", churn=ChurnPlan(), byzantine=ByzantinePlan()
+        )
+        payload = sim_spec_to_dict(spec)
+        assert "churn" not in payload
+        assert "byzantine" not in payload
+        assert "delay" not in payload
+        report_payload = sim_report_to_dict(simulate(gen.fan(8), spec))
+        for key in ("suspicion", "failed", "timed_out", "churn_events"):
+            assert key not in report_payload
+
+    def test_degradation_fault_free_twin_agrees(self):
+        from repro.api import adversarial_degradation
+
+        out = adversarial_degradation(
+            gen.fan(10), SimulationSpec(algorithm="d2")
+        )
+        degradation = out["degradation"]
+        assert degradation["agree"] is True
+        assert degradation["valid"] is True
+        assert degradation["ratio"] == degradation["baseline_ratio"]
+
+    def test_degradation_measures_the_final_graph(self):
+        from repro.api import ChurnEvent, ChurnPlan, adversarial_degradation
+
+        graph = gen.path(6)
+        spec = SimulationSpec(
+            algorithm="d2",
+            max_rounds=64,
+            churn=ChurnPlan(events=(ChurnEvent(1, "leave", 5),)),
+        )
+        out = adversarial_degradation(graph, spec)
+        assert out["degradation"]["final_n"] == 5
+        # The input graph is never mutated by the measurement.
+        assert graph.number_of_nodes() == 6
+
+    def test_adversarial_batch_workers_byte_identical(self):
+        specs = [self._spec(), self._spec(model="adversarial", seed=5)]
+        graphs = [gen.fan(8), gen.cycle(9)]
+        serial = simulate_many(graphs, specs)
+        parallel = simulate_many(graphs, specs, workers=4)
+
+        def dump(reports):
+            return json.dumps([sim_report_to_dict(r) for r in reports])
+
+        assert dump(serial) == dump(parallel)

@@ -121,6 +121,87 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["simulate", "--family", "fan", "--size", "10", "--algorithm", "exact"])
 
+    def test_simulate_churn_json(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "tree", "--size", "12",
+                "--algorithm", "d2", "--seed", "1",
+                "--churn", "rate=0.5,until=4", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["churn"]["rate"] == 0.5
+        assert payload["spec"]["churn"]["until"] == 4
+        assert payload["churn_events"] >= 1
+
+    def test_simulate_byzantine_human_output(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "12",
+                "--algorithm", "d2", "--byzantine", "lie=3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "byzantine 3: behavior=lie" in out
+        assert "deviations=" in out and "detections=" in out
+
+    def test_simulate_adversarial_model_with_delay(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "tree", "--size", "12",
+                "--algorithm", "d2", "--model", "adversarial",
+                "--delay", "1", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "adversarial"
+        assert payload["delayed_messages"] > 0
+
+    def test_simulate_scheduled_crash(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "12",
+                "--algorithm", "d2", "--faults", "crash=5@2", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashed"] == [5]
+        assert payload["spec"]["faults"]["crash_schedule"] == [[5, 2]]
+
+    def test_simulate_bad_churn_is_clear_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "10",
+                "--algorithm", "d2", "--churn", "add:0-1",
+            ]
+        )
+        assert code == 2
+        assert "@<round>" in capsys.readouterr().err
+
+    def test_simulate_bad_byzantine_is_clear_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "10",
+                "--algorithm", "d2", "--byzantine", "wat=3",
+            ]
+        )
+        assert code == 2
+        assert "unknown byzantine behavior" in capsys.readouterr().err
+
+    def test_simulate_bad_crash_round_is_clear_error(self, capsys):
+        code = main(
+            [
+                "simulate", "--family", "fan", "--size", "10",
+                "--algorithm", "d2", "--faults", "crash=0@x",
+            ]
+        )
+        assert code == 2
+        assert "non-negative integer round" in capsys.readouterr().err
+
     def test_compare(self, capsys):
         code = main(["compare", "--family", "ladder", "--size", "12"])
         assert code == 0

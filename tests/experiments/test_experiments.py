@@ -117,3 +117,49 @@ class TestFigures:
     def test_figure2_charge_bounded(self):
         for row in figure2_rows(seeds=(0,)):
             assert row["max_dist_to_dominator"] <= row["claim_5_11_bound"]
+
+
+class TestAdversarialDegradationSweep:
+    def test_fault_free_column_agrees(self):
+        from repro.experiments.sweeps import adversarial_degradation_sweep
+
+        rows = adversarial_degradation_sweep(
+            churn_rates=(0.0, 0.3), byz_fractions=(0.0, 0.25)
+        )
+        assert {row["algorithm"] for row in rows} == {"d2", "degree_two", "greedy"}
+        fault_free = [
+            row
+            for row in rows
+            if row["churn_rate"] == 0.0 and row["byz_fraction"] == 0.0
+        ]
+        assert fault_free
+        assert all(row["agree"] for row in fault_free)
+
+    def test_byzantine_cells_degrade_something(self):
+        from repro.experiments.sweeps import adversarial_degradation_sweep
+
+        rows = adversarial_degradation_sweep(
+            churn_rates=(0.0,), byz_fractions=(0.0, 0.5)
+        )
+        attacked = [row for row in rows if row["byz_fraction"] > 0.0]
+        assert any(not row["agree"] for row in attacked)
+
+    def test_rows_reproduce_exactly(self):
+        from repro.experiments.sweeps import adversarial_degradation_sweep
+
+        first = adversarial_degradation_sweep(
+            churn_rates=(0.3,), byz_fractions=(0.25,), algorithms=("d2",)
+        )
+        second = adversarial_degradation_sweep(
+            churn_rates=(0.3,), byz_fractions=(0.25,), algorithms=("d2",)
+        )
+        assert first == second
+
+    def test_renders(self):
+        from repro.experiments.sweeps import adversarial_degradation_sweep
+
+        rows = adversarial_degradation_sweep(
+            churn_rates=(0.0,), byz_fractions=(0.0,), algorithms=("d2",)
+        )
+        table = render_rows(rows)
+        assert "churn_rate" in table and "agree" in table

@@ -141,3 +141,28 @@ def test_seeded_random_instance_is_quiet():
             return random.Random(seed)
     """
     assert rpr003(src, path=PLAIN_PATH) == []
+
+
+# -- adversarial-layer modules are report modules ----------------------------
+
+
+def test_adversary_and_scheduler_modules_are_report_modules():
+    # Suspicion/degradation tallies flow straight into SimReports, so
+    # the set-iteration check must cover the adversarial layer too.
+    src = """
+        def tally(changed):
+            return [port for port in set(changed)]
+    """
+    for path in (
+        "src/repro/local_model/adversary.py",
+        "src/repro/local_model/schedulers.py",
+    ):
+        assert rpr003(src, path) == ["RPR003"]
+
+
+def test_other_local_model_modules_stay_unmarked():
+    src = """
+        def tally(changed):
+            return [port for port in set(changed)]
+    """
+    assert rpr003(src, "src/repro/local_model/engine.py") == []

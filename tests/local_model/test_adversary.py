@@ -1,0 +1,281 @@
+"""Adversarial plans: churn materialization and Byzantine behaviors."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.local_model.adversary import (
+    BYZANTINE_BEHAVIORS,
+    FAKE_UID_OFFSET,
+    ByzantinePlan,
+    ChurnEvent,
+    ChurnPlan,
+    _forge,
+    churned_graph,
+    materialize_churn,
+)
+from repro.local_model.algorithm import LocalAlgorithm
+from repro.local_model.engine import FaultPlan, SimulationEngine
+from repro.local_model.network import Network
+from repro.local_model.protocols import D2Protocol
+
+
+class TestChurnEvent:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown churn kind"):
+            ChurnEvent(1, "frob", 0, 1)
+
+    def test_round_starts_at_one(self):
+        with pytest.raises(ValueError, match="churn rounds start at 1"):
+            ChurnEvent(0, "add_edge", 0, 1)
+
+    def test_edge_needs_both_endpoints(self):
+        with pytest.raises(ValueError, match="needs both endpoints"):
+            ChurnEvent(1, "del_edge", 0)
+
+    def test_no_self_loops(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            ChurnEvent(1, "add_edge", 3, 3)
+
+    def test_leave_takes_single_vertex(self):
+        with pytest.raises(ValueError, match="single vertex"):
+            ChurnEvent(1, "leave", 0, 1)
+
+    def test_join_anchor_is_optional(self):
+        ChurnEvent(1, "join", 99)
+        ChurnEvent(1, "join", 99, 0)
+
+
+class TestPlans:
+    def test_rate_range(self):
+        with pytest.raises(ValueError, match="rate must be in"):
+            ChurnPlan(rate=1.5, until=2)
+
+    def test_rate_needs_until(self):
+        with pytest.raises(ValueError, match="needs until"):
+            ChurnPlan(rate=0.2)
+
+    def test_trivial(self):
+        assert ChurnPlan().is_trivial
+        assert not ChurnPlan(events=(ChurnEvent(1, "leave", 0),)).is_trivial
+        assert not ChurnPlan(rate=0.1, until=3).is_trivial
+        assert ByzantinePlan().is_trivial
+        assert not ByzantinePlan(((0, "lie"),)).is_trivial
+
+    def test_unknown_behavior(self):
+        with pytest.raises(ValueError, match="unknown byzantine behavior"):
+            ByzantinePlan(((0, "gossip"),))
+
+    def test_duplicate_vertex(self):
+        with pytest.raises(ValueError, match="two byzantine behaviors"):
+            ByzantinePlan(((0, "lie"), (0, "silent")))
+
+    def test_as_mapping(self):
+        plan = ByzantinePlan(((0, "lie"), (3, "babble")))
+        assert plan.as_mapping() == {0: "lie", 3: "babble"}
+
+
+class TestMaterializeChurn:
+    def test_explicit_events_grouped_by_round(self):
+        graph = gen.path(5)
+        plan = ChurnPlan(
+            events=(
+                ChurnEvent(2, "del_edge", 0, 1),
+                ChurnEvent(2, "add_edge", 0, 4),
+                ChurnEvent(3, "leave", 2),
+            )
+        )
+        rounds = materialize_churn(plan, graph, seed=0)
+        assert sorted(rounds) == [2, 3]
+        assert [e.kind for e in rounds[2]] == ["del_edge", "add_edge"]
+
+    def test_random_process_is_deterministic(self):
+        graph = gen.cycle(8)
+        plan = ChurnPlan(rate=0.5, until=6)
+        first = materialize_churn(plan, graph, seed=3)
+        second = materialize_churn(plan, graph, seed=3)
+        assert first == second
+        assert first  # rate 0.5 over 6 rounds: this seed does flip
+
+    def test_random_process_varies_with_seed(self):
+        graph = gen.cycle(8)
+        plan = ChurnPlan(rate=0.5, until=8)
+        outcomes = {
+            tuple(sorted(materialize_churn(plan, graph, seed=s).items()))
+            for s in range(4)
+        }
+        assert len(outcomes) > 1
+
+    def test_validates_against_evolving_topology(self):
+        graph = gen.path(4)
+        # 0-1 is deleted in round 1; deleting it again in round 2 must
+        # fail against the *evolved* edge set, not the input graph.
+        plan = ChurnPlan(
+            events=(
+                ChurnEvent(1, "del_edge", 0, 1),
+                ChurnEvent(2, "del_edge", 0, 1),
+            )
+        )
+        with pytest.raises(ValueError, match="does not exist"):
+            materialize_churn(plan, graph, seed=0)
+
+    @pytest.mark.parametrize(
+        "event,match",
+        [
+            (ChurnEvent(1, "add_edge", 0, 1), "already exists"),
+            (ChurnEvent(1, "add_edge", 0, 99), "not in the graph"),
+            (ChurnEvent(1, "del_edge", 0, 3), "does not exist"),
+            (ChurnEvent(1, "join", 2), "already in the graph"),
+            (ChurnEvent(1, "join", 99, 98), "anchor .* not in the graph"),
+            (ChurnEvent(1, "leave", 99), "not in the graph"),
+        ],
+    )
+    def test_invalid_events_fail_before_any_round(self, event, match):
+        with pytest.raises(ValueError, match=match):
+            materialize_churn(ChurnPlan(events=(event,)), gen.path(4), seed=0)
+
+    def test_cannot_remove_last_vertex(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        plan = ChurnPlan(events=(ChurnEvent(1, "leave", 0),))
+        with pytest.raises(ValueError, match="last vertex"):
+            materialize_churn(plan, graph, seed=0)
+
+
+class TestChurnedGraph:
+    def test_input_graph_is_never_mutated(self):
+        graph = gen.path(5)
+        snapshot = (set(graph.nodes), set(map(frozenset, graph.edges)))
+        plan = ChurnPlan(
+            events=(ChurnEvent(1, "leave", 4), ChurnEvent(2, "join", 9, 0)),
+            rate=0.4,
+            until=5,
+        )
+        churned_graph(graph, plan, seed=1, upto_round=10)
+        assert (set(graph.nodes), set(map(frozenset, graph.edges))) == snapshot
+
+    def test_replays_only_up_to_round(self):
+        graph = gen.path(5)
+        plan = ChurnPlan(
+            events=(ChurnEvent(1, "leave", 4), ChurnEvent(5, "join", 9, 0))
+        )
+        mid = churned_graph(graph, plan, seed=0, upto_round=3)
+        assert 4 not in mid.nodes and 9 not in mid.nodes
+        final = churned_graph(graph, plan, seed=0, upto_round=5)
+        assert 9 in final.nodes
+
+    def test_trivial_plan_is_a_copy(self):
+        graph = gen.path(5)
+        copy = churned_graph(graph, None, seed=0, upto_round=3)
+        assert copy is not graph
+        assert set(copy.edges) == set(graph.edges)
+
+
+class TestForge:
+    def test_forges_uid_in_nested_containers(self):
+        payload = (3, frozenset({(3, True), (5, False)}), [3, "x"])
+        forged = _forge(payload, 3, 1003)
+        assert forged == (1003, frozenset({(1003, True), (5, False)}), [1003, "x"])
+
+    def test_bool_is_not_an_identifier(self):
+        # uid 1 must not forge True (bool subclasses int).
+        assert _forge((1, True), 1, 1001) == (1001, True)
+
+
+class EchoUntilFullView(LocalAlgorithm):
+    """Broadcasts every round; halts once every port delivered a ping.
+
+    A neighbor that never speaks (a silent Byzantine node) therefore
+    starves this protocol forever — the timeout path's test protocol.
+    """
+
+    def on_init(self, ctx):
+        ctx.broadcast("ping")
+
+    def on_round(self, ctx):
+        if len(ctx.inbox) == ctx.degree:
+            ctx.halt(True)
+            return
+        ctx.broadcast("ping")
+
+
+class TestByzantineEngine:
+    def _run(self, graph, byzantine, max_rounds=64, protocol=D2Protocol):
+        engine = SimulationEngine(
+            Network(graph),
+            max_rounds=max_rounds,
+            faults=FaultPlan(),
+            seed=0,
+            byzantine=byzantine,
+        )
+        return engine.run(protocol)
+
+    def test_every_behavior_reports_suspicion(self):
+        for behavior in BYZANTINE_BEHAVIORS:
+            result = self._run(gen.cycle(6), {2: behavior})
+            row = result.suspicion[2]
+            assert row["behavior"] == behavior
+            assert row["deviations"] >= 0, behavior
+            assert row["detections"] <= row["deviations"], behavior
+
+    def test_active_deviation_is_counted(self):
+        # D2 broadcasts one payload to every port, so rotating it
+        # (equivocate) changes nothing — but suppression, flooding, and
+        # identity forgery are all visible deviations.
+        for behavior in ("silent", "babble", "lie"):
+            result = self._run(gen.cycle(6), {2: behavior})
+            assert result.suspicion[2]["deviations"] > 0, behavior
+
+    def test_corrupted_deliveries_are_detected(self):
+        result = self._run(gen.cycle(6), {2: "babble"})
+        assert result.suspicion[2]["detections"] > 0
+
+    def test_silent_node_starves_waiters_until_timeout(self):
+        result = self._run(
+            gen.cycle(6), {2: "silent"}, max_rounds=12, protocol=EchoUntilFullView
+        )
+        assert result.timed_out
+        assert result.rounds == 12
+        # The silent node's neighbors never completed their view.
+        assert 1 not in result.outputs and 3 not in result.outputs
+
+    def test_benign_run_still_raises_on_round_exhaustion(self):
+        engine = SimulationEngine(
+            Network(gen.path(2)), max_rounds=3, faults=FaultPlan(), seed=0
+        )
+
+        class NeverHalts(LocalAlgorithm):
+            def on_init(self, ctx):
+                pass
+
+            def on_round(self, ctx):
+                pass
+
+        with pytest.raises(RuntimeError, match="did not halt"):
+            engine.run(NeverHalts)
+
+    def test_unknown_byzantine_vertex_is_rejected(self):
+        with pytest.raises(ValueError, match="never in the network"):
+            self._run(gen.cycle(6), {99: "lie"})
+
+    def test_byzantine_crash_overlap_is_rejected(self):
+        with pytest.raises(ValueError, match="both byzantine and crashed"):
+            SimulationEngine(
+                Network(gen.cycle(6)),
+                max_rounds=10,
+                faults=FaultPlan(crashed=(2,)),
+                seed=0,
+                byzantine={2: "lie"},
+            )
+
+    def test_fake_uid_never_collides_with_honest_ids(self):
+        result = self._run(gen.cycle(6), {2: "lie"})
+        honest_uids = set(range(6))
+        assert FAKE_UID_OFFSET + 2 not in honest_uids
+        assert result.suspicion[2]["deviations"] > 0
+
+    def test_adversarial_run_reproduces_exactly(self):
+        first = self._run(gen.cycle(8), {1: "equivocate", 5: "silent"})
+        second = self._run(gen.cycle(8), {1: "equivocate", 5: "silent"})
+        assert first == second

@@ -1,0 +1,131 @@
+"""Async + adversarial schedulers: delay streams and delivery order."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.local_model.engine import FaultPlan, SimulationEngine, scheduler_for
+from repro.local_model.network import Network
+from repro.local_model.protocols import D2Protocol
+from repro.local_model.schedulers import (
+    AdversarialScheduler,
+    AsyncScheduler,
+    PendingMessage,
+)
+
+
+class TestAsyncScheduler:
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="delay bound"):
+            AsyncScheduler(delay_bound=-1)
+
+    def test_delays_are_bounded_and_seeded(self):
+        first = AsyncScheduler(delay_bound=3, seed=7)
+        second = AsyncScheduler(delay_bound=3, seed=7)
+        draws = [first.delay(1, i, 0, 1) for i in range(50)]
+        assert draws == [second.delay(1, i, 0, 1) for i in range(50)]
+        assert all(0 <= d <= 3 for d in draws)
+        assert len(set(draws)) > 1
+
+    def test_zero_bound_never_draws(self):
+        scheduler = AsyncScheduler(delay_bound=0, seed=7)
+        assert [scheduler.delay(1, i, 0, 1) for i in range(10)] == [0] * 10
+
+    def test_order_is_fifo(self):
+        due = [
+            PendingMessage(2, 1, 0, 0, "late", 3),
+            PendingMessage(1, 0, 0, 0, "early", 3),
+            PendingMessage(2, 0, 0, 0, "mid", 3),
+        ]
+        assert [m.payload for m in AsyncScheduler().order(due)] == [
+            "early",
+            "mid",
+            "late",
+        ]
+
+
+class TestAdversarialScheduler:
+    def test_holds_messages_up_the_identifier_order(self):
+        scheduler = AdversarialScheduler(delay_bound=2)
+        assert scheduler.delay(1, 0, sender_uid=0, receiver_uid=5) == 2
+        assert scheduler.delay(1, 0, sender_uid=5, receiver_uid=0) == 0
+
+    def test_stalest_payload_wins_the_port_slot(self):
+        due = [
+            PendingMessage(1, 0, 0, 0, "stale", 3),
+            PendingMessage(2, 1, 0, 0, "fresh", 3),
+        ]
+        # Newest delivered first, so the stale write lands last.
+        assert [m.payload for m in AdversarialScheduler().order(due)] == [
+            "fresh",
+            "stale",
+        ]
+
+    def test_zero_bound_recovers_synchrony(self):
+        graph = gen.cycle(8)
+        plain = SimulationEngine(
+            Network(graph), max_rounds=64, faults=FaultPlan(), seed=0
+        ).run(D2Protocol)
+        sync = SimulationEngine(
+            Network(graph),
+            AdversarialScheduler(delay_bound=0),
+            max_rounds=64,
+            faults=FaultPlan(),
+            seed=0,
+        ).run(D2Protocol)
+        assert sync.outputs == plain.outputs
+        assert sync.rounds == plain.rounds
+
+
+class TestSchedulerFor:
+    def test_async_and_adversarial_models(self):
+        async_s = scheduler_for("async", delay=3, seed=11)
+        assert async_s.model == "async"
+        assert async_s.plans_delivery and not async_s.enforces
+        assert async_s.delay_bound == 3 and async_s.seed == 11
+        adv = scheduler_for("adversarial", delay=1)
+        assert adv.model == "adversarial"
+        assert adv.plans_delivery and adv.delay_bound == 1
+
+    def test_local_and_congest_do_not_plan_delivery(self):
+        local = scheduler_for("local")
+        assert not getattr(local, "plans_delivery", False)
+        congest = scheduler_for("congest", budget=4)
+        assert not getattr(congest, "plans_delivery", False)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            scheduler_for("quantum")
+
+
+class TestEngineWithPlannedDelivery:
+    def _run(self, scheduler, seed=0):
+        return SimulationEngine(
+            Network(gen.cycle(8)),
+            scheduler,
+            max_rounds=64,
+            faults=FaultPlan(),
+            seed=seed,
+        ).run(D2Protocol)
+
+    def test_async_run_reproduces_exactly(self):
+        first = self._run(AsyncScheduler(delay_bound=2, seed=5))
+        second = self._run(AsyncScheduler(delay_bound=2, seed=5))
+        assert first == second
+
+    def test_async_delay_stream_changes_with_seed(self):
+        runs = {
+            self._run(AsyncScheduler(delay_bound=3, seed=s)).delayed_messages
+            for s in range(4)
+        }
+        assert len(runs) > 1
+
+    def test_delayed_messages_are_counted(self):
+        result = self._run(AdversarialScheduler(delay_bound=2))
+        assert result.delayed_messages > 0
+
+    def test_stale_inputs_shield_instead_of_crash(self):
+        # D2's phase payloads can arrive out of phase under delays; the
+        # engine must record the victims as failed, not blow up.
+        result = self._run(AdversarialScheduler(delay_bound=2))
+        assert set(result.failed) <= set(range(8))
+        assert result.outputs or result.failed

@@ -168,6 +168,43 @@ class TestErrorMapping:
         assert status == 400
         assert "unknown family" in body["error"]
 
+    def test_unknown_byzantine_behavior_is_400_before_queueing(self, serve):
+        payload = {
+            "kind": "simulate",
+            "instances": [{"family": "tree", "size": 10}],
+            "specs": [{"algorithm": "d2", "byzantine": "wat=3"}],
+        }
+        status, _, body = serve.json("POST", "/jobs", payload)
+        assert status == 400
+        assert "unknown byzantine behavior" in body["error"]
+        # Rejected at parse time: the queue never saw the job.
+        _, _, stats = serve.json("GET", "/stats")
+        assert stats["jobs"]["submitted"] == 0
+        assert stats["queue"]["count"] == 0
+
+    def test_adversarial_simulate_job_completes(self, serve):
+        payload = {
+            "kind": "simulate",
+            "instances": [{"family": "tree", "size": 10}],
+            "specs": [
+                {
+                    "algorithm": "d2",
+                    "seed": 1,
+                    "max_rounds": 64,
+                    "churn": "rate=0.3,until=4",
+                    "byzantine": "lie=3",
+                }
+            ],
+        }
+        status, _, job = serve.json("POST", "/jobs", payload)
+        assert status == 202
+        record = serve.poll(job["id"])
+        assert record["state"] == "completed"
+        status, _, reports = serve.json("GET", f"/jobs/{job['id']}/result")
+        assert status == 200
+        assert len(reports) == 1
+        assert reports[0]["spec"]["byzantine"]["behaviors"] == [[3, "lie"]]
+
     def test_unknown_job_is_404(self, serve):
         for path in ("/jobs/j999999", "/jobs/j999999/result"):
             status, _, body = serve.json("GET", path)

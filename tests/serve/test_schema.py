@@ -4,9 +4,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api.config import RunConfig, parse_faults, run_config_from_options
+from repro.api.config import (
+    RunConfig,
+    parse_byzantine,
+    parse_churn,
+    parse_faults,
+    run_config_from_options,
+)
 from repro.graphs import generators as gen
-from repro.io import fault_plan_to_dict, graph_to_dict
+from repro.io import (
+    byzantine_plan_to_dict,
+    churn_plan_to_dict,
+    fault_plan_to_dict,
+    graph_to_dict,
+)
 from repro.serve.schema import (
     FamilyRef,
     SpecError,
@@ -132,6 +143,65 @@ class TestSimulateParsing:
         assert [s.algorithm for s in parsed.specs] == ["greedy"]
 
 
+class TestAdversarialParsing:
+    def test_string_churn_shares_the_cli_parser(self):
+        text = "rate=0.2,until=5,del:0-1@2"
+        via_string = parse_job(
+            _simulate_payload(specs=[{"algorithm": "d2", "churn": text}])
+        ).specs[0]
+        via_dict = parse_job(
+            _simulate_payload(
+                specs=[
+                    {
+                        "algorithm": "d2",
+                        "churn": churn_plan_to_dict(parse_churn(text)),
+                    }
+                ]
+            )
+        ).specs[0]
+        assert via_string == via_dict
+        assert via_string.churn.rate == 0.2
+        assert via_string.churn.until == 5
+        assert [e.kind for e in via_string.churn.events] == ["del_edge"]
+
+    def test_string_byzantine_shares_the_cli_parser(self):
+        text = "lie=0+3,silent=5"
+        via_string = parse_job(
+            _simulate_payload(specs=[{"algorithm": "d2", "byzantine": text}])
+        ).specs[0]
+        via_dict = parse_job(
+            _simulate_payload(
+                specs=[
+                    {
+                        "algorithm": "d2",
+                        "byzantine": byzantine_plan_to_dict(parse_byzantine(text)),
+                    }
+                ]
+            )
+        ).specs[0]
+        assert via_string == via_dict
+        assert via_string.byzantine.as_mapping() == {
+            0: "lie",
+            3: "lie",
+            5: "silent",
+        }
+
+    def test_delay_and_model_pass_through(self):
+        spec = parse_job(
+            _simulate_payload(
+                specs=[{"algorithm": "d2", "model": "adversarial", "delay": 3}]
+            )
+        ).specs[0]
+        assert spec.model == "adversarial"
+        assert spec.delay == 3
+
+    def test_unknown_behavior_names_the_choices(self):
+        with pytest.raises(SpecError, match="silent.*babble.*equivocate.*lie"):
+            parse_job(
+                _simulate_payload(specs=[{"algorithm": "d2", "byzantine": "wat=3"}])
+            )
+
+
 class TestRejections:
     @pytest.mark.parametrize(
         "payload",
@@ -158,6 +228,11 @@ class TestRejections:
             _simulate_payload(specs=[{"model": "congest"}]),
             _simulate_payload(specs=[{"algorithm": "d2", "model": "telepathy"}]),
             _simulate_payload(specs=[{"algorithm": "d2", "faults": "warp=1"}]),
+            _simulate_payload(specs=[{"algorithm": "d2", "faults": "crash=0@x"}]),
+            _simulate_payload(specs=[{"algorithm": "d2", "churn": "frob:1@2"}]),
+            _simulate_payload(specs=[{"algorithm": "d2", "churn": "add:0-1"}]),
+            _simulate_payload(specs=[{"algorithm": "d2", "byzantine": "wat=3"}]),
+            _simulate_payload(specs=[{"algorithm": "d2", "delay": -1}]),
             # `exact` ships no message-passing protocol for the engine.
             _simulate_payload(specs=[{"algorithm": "exact"}]),
         ],
