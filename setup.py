@@ -1,2 +1,33 @@
-from setuptools import setup
-setup()
+"""Packaging for the repro distribution (src/ layout).
+
+``install_requires`` names the three runtime dependencies the package
+imports unconditionally: networkx (graph construction), numpy (the
+packed kernel backend in :mod:`repro.graphs.packed` plus the CSR
+ingestion paths), and scipy (the MILP/LP exact solvers and bounds).
+Test-only tooling (pytest, hypothesis, ruff) stays in
+``requirements-ci.txt``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-bonamy-gpw25",
+    version="1.1.0",
+    description=(
+        "Reproduction of distributed dominating-set algorithms and "
+        "structural bounds (Bonamy et al., PODC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+        "scipy",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

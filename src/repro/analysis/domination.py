@@ -41,14 +41,17 @@ def is_b_dominating_set(
     A target that is not a vertex of ``graph`` is simply not dominated
     (the answer is ``False``, matching the historical set-inclusion
     semantics), whereas an unknown *candidate* vertex is an error.
+
+    Backend-generic: the target mask is built through the kernel's own
+    ``bits_of`` (a Python int or a packed word array, matching
+    ``union_closed_bits``), never by hand-assembling int bits.
     """
     kernel = kernel_for(graph)
     dominated = kernel.union_closed_bits(candidate)
     index_of = kernel.index_of
-    mask = 0
+    known: list[Vertex] = []
     for v in targets:
-        i = index_of.get(v)
-        if i is None:  # a target outside V(G) cannot be dominated
+        if v not in index_of:  # a target outside V(G) cannot be dominated
             return False
-        mask |= 1 << i
-    return not (mask & ~dominated)
+        known.append(v)
+    return not (kernel.bits_of(known) & ~dominated)

@@ -35,7 +35,7 @@ import repro.api.algorithms  # noqa: F401  (populates the registry)
 from repro.api.config import RunConfig, RunReport, instance_meta, measured_ratio
 from repro.api.registry import AlgorithmSpec, get_algorithm
 from repro.analysis.domination import is_dominating_set
-from repro.graphs.kernel import KernelWire, graph_from_wire, kernel_for
+from repro.graphs.kernel import KernelView, KernelWire, instance_from_wire, kernel_for
 from repro.solvers.opt_cache import optimum_size
 from repro.solvers.vc import is_vertex_cover
 
@@ -129,10 +129,16 @@ def solve(
 def _normalise_instances(
     instances: Iterable,
 ) -> list[tuple[dict, nx.Graph]]:
-    """Accept graphs, ``(meta, graph)`` pairs, or a mix of both."""
+    """Accept graphs/:class:`KernelView`s, ``(meta, graph)`` pairs, or a mix.
+
+    A :class:`~repro.graphs.kernel.KernelView` counts as a bare
+    instance — the packed large-graph path never builds an
+    ``nx.Graph``, and everything downstream (kernel primitives,
+    validity checks, ``instance_meta``) runs on the view's kernel.
+    """
     out: list[tuple[dict, nx.Graph]] = []
     for item in instances:
-        if isinstance(item, nx.Graph):
+        if isinstance(item, (nx.Graph, KernelView)):
             out.append(({}, item))
         else:
             meta, graph = item
@@ -152,12 +158,15 @@ def _solve_instance_task(
 ) -> list[RunReport]:
     """Module-level worker so ProcessPoolExecutor can pickle it.
 
-    Rebuilds graph + kernel from the CSR wire once, then runs the whole
-    algorithm list on it — one deserialisation and (for ratio runs) one
-    exact solve per instance, regardless of how many algorithms ride.
+    Rebuilds the instance from the CSR wire once — an ``nx.Graph`` with
+    a pre-seeded kernel below the packed threshold, a
+    :class:`~repro.graphs.kernel.KernelView` over a packed kernel at or
+    above it — then runs the whole algorithm list on it: one
+    deserialisation and (for ratio runs) one exact solve per instance,
+    regardless of how many algorithms ride.
     """
     meta, wire, algorithms, config = task
-    return _run_instance(meta, graph_from_wire(wire), algorithms, config)
+    return _run_instance(meta, instance_from_wire(wire), algorithms, config)
 
 
 def solve_many(

@@ -241,6 +241,14 @@ def simulate(
         return base
 
     churn_plan = spec.churn if spec.churn is not None and not spec.churn.is_trivial else None
+    if churn_plan is not None and not isinstance(graph, nx.Graph):
+        # KernelView instances are immutable CSR facades; churn needs a
+        # mutable nx.Graph to apply join/leave/rewire events to.
+        raise TypeError(
+            "churn plans require a mutable nx.Graph instance; "
+            f"got {type(graph).__name__} (rebuild the instance as a graph, "
+            "e.g. via graph_from_wire, to simulate churn)"
+        )
     byz_plan = (
         spec.byzantine
         if spec.byzantine is not None and not spec.byzantine.is_trivial

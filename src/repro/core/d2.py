@@ -21,7 +21,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.core.results import AlgorithmResult
-from repro.graphs.kernel import kernel_for
+from repro.graphs.kernel import KernelView, kernel_for
 from repro.graphs.twins import remove_true_twins
 
 Vertex = Hashable
@@ -34,9 +34,14 @@ def gamma(graph: nx.Graph, v: Vertex) -> int:
 
     Only the 1-versus-more distinction matters to the algorithm, so the
     return value is capped at 2.  ``N[v] ⊆ N[u]`` is one bitset subset
-    test per neighbor on the graph's kernel.
+    test per neighbor on the graph's kernel (or a batched sorted-row
+    scan on the packed backend).
     """
     kernel = kernel_for(graph)
+    if kernel.backend == "packed":
+        from repro.graphs.packed import gamma_packed
+
+        return gamma_packed(kernel, kernel.index(v))
     closed = kernel.closed_bits
     i = kernel.index(v)
     n_v = closed[i]
@@ -49,6 +54,10 @@ def gamma(graph: nx.Graph, v: Vertex) -> int:
 def d2_set(graph: nx.Graph) -> set[Vertex]:
     """``D₂(G)``: vertices whose closed neighborhood needs ≥ 2 dominators."""
     kernel = kernel_for(graph)
+    if kernel.backend == "packed":
+        from repro.graphs.packed import d2_members_packed
+
+        return kernel.labels_of(d2_members_packed(kernel))
     closed = kernel.closed_bits
     members = 0
     for i in range(kernel.n):
@@ -58,14 +67,55 @@ def d2_set(graph: nx.Graph) -> set[Vertex]:
     return kernel.labels_of(members)
 
 
+def _d2_dominating_packed(kernel) -> AlgorithmResult:
+    """The same twin-reduce → D₂ → per-component fix-up, on CSR arrays.
+
+    ``induced`` keeps original labels in kernel (repr) order, so the
+    reduced kernel's lowest index in a component *is* the repr-least
+    vertex — the exact deterministic fix-up the int path applies.
+    """
+    from repro.graphs.packed import d2_members_packed, twin_survivor_indices
+
+    survivors, _ = twin_survivor_indices(kernel)
+    reduced = kernel.induced(survivors)
+    members = d2_members_packed(reduced)
+    solution = reduced.labels_of(members)
+    for component in reduced.components_of_mask(reduced.full_mask):
+        if not (component & members):
+            solution.add(reduced.labels[int(component.indices()[0])])
+    return AlgorithmResult(
+        name="d2",
+        solution=solution,
+        rounds=D2_ROUNDS,
+        phases={"d2": set(solution)},
+        round_breakdown={"total": D2_ROUNDS},
+        metadata={"twin_free_size": reduced.n},
+    )
+
+
 def d2_dominating_set(graph: nx.Graph) -> AlgorithmResult:
     """Theorem 4.4's algorithm: twin reduction, then output ``D₂``.
 
     Valid on every graph; the ``(2t−1)`` guarantee holds when the input
-    is ``K_{2,t}``-minor-free.
+    is ``K_{2,t}``-minor-free.  Packed kernels and
+    :class:`~repro.graphs.kernel.KernelView` instances run the whole
+    pipeline on CSR arrays (no ``nx`` subgraphs, no mask table) with
+    bit-identical output.
     """
     if graph.number_of_nodes() == 0:
         return AlgorithmResult(name="d2", solution=set(), rounds=0)
+    kernel = kernel_for(graph)
+    if kernel.backend == "packed":
+        return _d2_dominating_packed(kernel)
+    if isinstance(graph, KernelView):
+        # A small view resolves to the int backend, but there is no
+        # nx.Graph to take twin subgraphs of — lift the int kernel's
+        # CSR into a packed kernel and run the array pipeline.
+        from repro.graphs.packed import PackedGraphKernel
+
+        return _d2_dominating_packed(
+            PackedGraphKernel(kernel.labels, kernel.indptr, kernel.indices)
+        )
     reduced, _ = remove_true_twins(graph)
     solution = d2_set(reduced)
     # A single vertex (after twin reduction a K_n collapses to one) has

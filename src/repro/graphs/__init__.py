@@ -20,12 +20,22 @@ relies on:
 
 from repro.graphs.kernel import (
     GraphKernel,
+    KernelView,
     StaleKernelError,
+    instance_from_wire,
     invalidate_kernel,
+    kernel_backend,
     kernel_for,
+    kernel_from_edge_file,
+    kernel_from_edges,
+    kernel_from_wire,
     kernel_guard_enabled,
+    read_wire,
+    set_kernel_backend,
     set_kernel_guard,
+    write_wire,
 )
+from repro.graphs.packed import MaskHandle, PackedGraphKernel, PackedMask
 from repro.graphs.util import (
     closed_neighborhood,
     closed_neighborhood_of_set,
@@ -67,9 +77,21 @@ from repro.graphs.asdim import (
 
 __all__ = [
     "GraphKernel",
+    "PackedGraphKernel",
+    "PackedMask",
+    "MaskHandle",
+    "KernelView",
     "StaleKernelError",
     "kernel_for",
+    "kernel_from_edges",
+    "kernel_from_edge_file",
+    "kernel_from_wire",
+    "instance_from_wire",
     "invalidate_kernel",
+    "kernel_backend",
+    "set_kernel_backend",
+    "write_wire",
+    "read_wire",
     "kernel_guard_enabled",
     "set_kernel_guard",
     "closed_neighborhood",

@@ -41,17 +41,42 @@ serving a stale kernel.
 Masks are plain Python ints: bit ``i`` set means "vertex with kernel
 index ``i`` is in the set".  ``full_mask`` has all ``n`` bits set.
 
-Memory profile: the precomputed closed-neighborhood bitsets hold one
-``n``-bit int per vertex — O(n²/8) bytes in the worst case (~12 MB at
-n = 10⁴, ~1.2 GB at n = 10⁵).  The kernel targets the 10³–10⁴ range
-the experiment workloads live in; far beyond that, the networkx
-representation (O(n + m)) is the right tool again.
+Two backends, one contract
+--------------------------
+
+Memory profile of this (int) backend: the precomputed
+closed-neighborhood bitsets hold one ``n``-bit int per vertex —
+O(n²/8) bytes in the worst case (~12 MB at n = 10⁴, ~1.2 GB at
+n = 10⁵) — so it targets the 10³–10⁴ range the experiment workloads
+live in.  Beyond that, :func:`kernel_for` automatically switches to
+the **packed backend** (:class:`repro.graphs.packed.PackedGraphKernel`):
+CSR adjacency in numpy ``int64`` arrays, vertex sets as packed
+``uint64`` word arrays (:class:`~repro.graphs.packed.PackedMask`), and
+— the load-bearing invariant — **no precomputed per-node
+closed-neighborhood masks**; every primitive is a vectorized CSR scan,
+keeping memory O(n + m) words all the way to n ≈ 10⁶
+(BENCH_bigraph.json).
+
+Selection is by node count against a threshold (default
+``8192``), overridable three ways: the ``REPRO_KERNEL_BACKEND``
+environment variable (``auto``/``int``/``packed``), the
+:func:`set_kernel_backend` API, or the ``backend=`` argument of
+:func:`kernel_for`/:func:`kernel_from_edges`.  Both backends share the
+canonical form — labels repr-sorted, CSR rows ascending, identical
+:class:`KernelWire` bytes — so masks produced by one backend's
+primitives feed back into that same backend's primitives unchanged,
+and differential tests pin the outputs equal.  Million-node instances
+should be built through :func:`kernel_from_edges` /
+:func:`kernel_from_edge_file` / :func:`read_wire` (never an
+``nx.Graph``) and wrapped in :class:`KernelView` for the
+``solve``/``solve_many`` front door.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 import traceback
 import weakref
 from array import array
@@ -61,6 +86,10 @@ from typing import Hashable, Iterable, Iterator, NamedTuple
 import networkx as nx
 
 Vertex = Hashable
+
+# Bounded chunk size for streaming digest/serialization of wires: big
+# wires are hashed and written piecewise, never as one giant temporary.
+_WIRE_CHUNK = 1 << 20
 
 
 class StaleKernelError(RuntimeError):
@@ -86,11 +115,38 @@ def wire_digest(wire: "KernelWire") -> str:
     keys its resident cache on it, and the sweep layer's manifests and
     checkpoints use it to prove a shard re-executed after a crash ran
     the *same* instances.
+
+    The hash is fed in bounded chunks (``_WIRE_CHUNK``): the label
+    prefix streams byte-identically to ``repr(labels).encode("utf-8")``
+    without materializing the whole repr string, and the CSR blobs are
+    hashed through a ``memoryview`` window — digesting a million-node
+    wire never allocates a second wire-sized object.  Digests are
+    byte-for-byte identical to the historical whole-string formula.
     """
     hasher = hashlib.sha256()
-    hasher.update(repr(wire.labels).encode("utf-8"))
-    hasher.update(wire.indptr)
-    hasher.update(wire.indices)
+    labels = wire.labels
+    if not labels:
+        hasher.update(b"()")
+    elif len(labels) == 1:
+        hasher.update(f"({labels[0]!r},)".encode("utf-8"))
+    else:
+        parts = ["("]
+        size = 1
+        last = len(labels) - 1
+        for k, label in enumerate(labels):
+            part = repr(label) if k == last else f"{label!r}, "
+            parts.append(part)
+            size += len(part)
+            if size >= _WIRE_CHUNK:
+                hasher.update("".join(parts).encode("utf-8"))
+                parts = []
+                size = 0
+        parts.append(")")
+        hasher.update("".join(parts).encode("utf-8"))
+    for blob in (wire.indptr, wire.indices):
+        view = memoryview(blob)
+        for offset in range(0, len(view), _WIRE_CHUNK):
+            hasher.update(view[offset : offset + _WIRE_CHUNK])
     return hasher.hexdigest()
 
 
@@ -132,7 +188,14 @@ class GraphKernel:
 
     Build through :func:`kernel_for` (cached), not directly, unless you
     explicitly want an uncached snapshot.
+
+    This is the *int* backend: it precomputes one ``n``-bit closed
+    neighborhood per vertex (O(n²/8) bytes), which is what makes small
+    graphs fast and large graphs impossible — the packed backend keeps
+    the same API with no precomputed masks (see the module docstring).
     """
+
+    backend = "int"
 
     __slots__ = (
         "n",
@@ -251,6 +314,16 @@ class GraphKernel:
 
     def degree(self, index: int) -> int:
         return self.indptr[index + 1] - self.indptr[index]
+
+    def edge_count(self) -> int:
+        """Number of undirected edges (self-loops counted once)."""
+        indptr, indices = self.indptr, self.indices
+        loops = 0
+        for i in range(self.n):
+            pos = bisect_left(indices, i, indptr[i], indptr[i + 1])
+            if pos < indptr[i + 1] and indices[pos] == i:
+                loops += 1
+        return (len(indices) - loops) // 2 + loops
 
     # -- domination primitives ----------------------------------------------
 
@@ -604,7 +677,125 @@ def _guard_verify(graph: nx.Graph) -> None:
     )
 
 
-def kernel_for(graph: nx.Graph) -> GraphKernel:
+# -- backend selection ------------------------------------------------------
+#
+# Small graphs keep the int-mask backend (fast, precomputed masks);
+# large graphs get the packed numpy backend (O(n + m) words, no mask
+# table).  The switch is a node-count threshold; both the choice and
+# the threshold can be forced for testing either backend at any size.
+
+_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+_THRESHOLD_ENV = "REPRO_KERNEL_PACKED_THRESHOLD"
+_BACKENDS = ("auto", "int", "packed")
+_DEFAULT_PACKED_THRESHOLD = 8192
+
+_KERNEL_BACKEND = os.environ.get(_BACKEND_ENV, "auto") or "auto"
+if _KERNEL_BACKEND not in _BACKENDS:  # pragma: no cover - env misconfiguration
+    raise ValueError(f"{_BACKEND_ENV} must be one of {_BACKENDS}, got {_KERNEL_BACKEND!r}")
+_PACKED_THRESHOLD = int(os.environ.get(_THRESHOLD_ENV, _DEFAULT_PACKED_THRESHOLD))
+
+
+def set_kernel_backend(backend: str | None = None, *, threshold: int | None = None):
+    """Force the kernel backend and/or the auto-selection threshold.
+
+    ``backend`` is ``"auto"`` (select by node count), ``"int"``, or
+    ``"packed"``; ``None`` leaves the current choice.  ``threshold`` is
+    the node count at which ``"auto"`` switches to packed.  Returns the
+    previous ``(backend, threshold)`` pair so tests can restore it.
+    Initial values come from ``REPRO_KERNEL_BACKEND`` and
+    ``REPRO_KERNEL_PACKED_THRESHOLD`` at import time.
+    """
+    global _KERNEL_BACKEND, _PACKED_THRESHOLD
+    previous = (_KERNEL_BACKEND, _PACKED_THRESHOLD)
+    if backend is not None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        _KERNEL_BACKEND = backend
+    if threshold is not None:
+        _PACKED_THRESHOLD = int(threshold)
+    return previous
+
+
+def kernel_backend() -> tuple[str, int]:
+    """The current ``(backend, threshold)`` selection settings."""
+    return (_KERNEL_BACKEND, _PACKED_THRESHOLD)
+
+
+def _resolve_backend(n: int, override: str | None = None) -> str:
+    choice = override if override is not None else _KERNEL_BACKEND
+    if choice not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {choice!r}")
+    if choice == "auto":
+        return "packed" if n >= _PACKED_THRESHOLD else "int"
+    return choice
+
+
+class KernelView:
+    """Graph-shaped facade over a standalone kernel — no ``nx.Graph``.
+
+    Million-node instances built through :func:`kernel_from_edges` or
+    :func:`read_wire` never materialize adjacency dicts; this view
+    gives them the minimal ``nx.Graph`` surface the front door uses
+    (``number_of_nodes``/``number_of_edges``, node iteration,
+    ``neighbors``, ``edges``) while :func:`kernel_for` short-circuits
+    straight to the wrapped kernel.  The view is weak-referenceable, so
+    per-graph derived caches (exact-OPT, guard state) key on it like
+    they key on graphs.  It is read-only: mutation-shaped calls do not
+    exist, so the kernel staleness contract is trivially satisfied.
+    """
+
+    __slots__ = ("kernel", "__weakref__")
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def number_of_nodes(self) -> int:
+        return self.kernel.n
+
+    def number_of_edges(self) -> int:
+        return self.kernel.edge_count()
+
+    @property
+    def nodes(self):
+        return self.kernel.labels
+
+    def __iter__(self):
+        return iter(self.kernel.labels)
+
+    def __len__(self) -> int:
+        return self.kernel.n
+
+    def __contains__(self, vertex) -> bool:
+        try:
+            return vertex in self.kernel.index_of
+        except TypeError:
+            return False
+
+    def has_node(self, vertex) -> bool:
+        return vertex in self
+
+    def neighbors(self, vertex):
+        kernel = self.kernel
+        labels = kernel.labels
+        for j in kernel.neighbor_row(kernel.index_of[vertex]):
+            yield labels[j]
+
+    @property
+    def edges(self):
+        kernel = self.kernel
+        labels = kernel.labels
+        return (
+            (labels[i], labels[int(j)])
+            for i in range(kernel.n)
+            for j in kernel.neighbor_row(i)
+            if j >= i  # >= keeps self-loops listed once
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelView(n={self.kernel.n}, backend={self.kernel.backend})"
+
+
+def kernel_for(graph: nx.Graph, backend: str | None = None) -> GraphKernel:
     """The cached :class:`GraphKernel` of ``graph`` (built on first use).
 
     **The mutation contract** (enforced by ``repro lint`` rule RPR001
@@ -624,13 +815,33 @@ def kernel_for(graph: nx.Graph) -> GraphKernel:
     time and raises :class:`StaleKernelError` on a contract breach
     instead of serving the stale kernel.  The guard costs O(n + m) per
     hit, so it is a CI/debug tool, not a production default.
+
+    **Backend**: the result is an int-mask :class:`GraphKernel` below
+    the packed threshold and a
+    :class:`~repro.graphs.packed.PackedGraphKernel` at or above it
+    (see :func:`set_kernel_backend`); ``backend=`` forces the choice
+    for this call, and a cached kernel of the wrong backend is rebuilt
+    transparently.  A :class:`KernelView` short-circuits to its wrapped
+    kernel.
     """
+    if isinstance(graph, KernelView):
+        return graph.kernel
+    wanted = _resolve_backend(graph.number_of_nodes(), backend)
     kernel = _KERNELS.get(graph)
-    if kernel is not None and kernel.n == graph.number_of_nodes():
+    if (
+        kernel is not None
+        and kernel.n == graph.number_of_nodes()
+        and kernel.backend == wanted
+    ):
         if _KERNEL_GUARD:
             _guard_verify(graph)
         return kernel
-    kernel = GraphKernel(graph)
+    if wanted == "packed":
+        from repro.graphs.packed import PackedGraphKernel
+
+        kernel = PackedGraphKernel.from_graph(graph)
+    else:
+        kernel = GraphKernel(graph)
     try:
         _KERNELS[graph] = kernel
         if _KERNEL_GUARD:
@@ -662,7 +873,7 @@ def graph_from_wire(wire: KernelWire) -> nx.Graph:
         for j in indices[indptr[u] : indptr[u + 1]]
         if j >= u  # >= keeps self-loops round-tripping
     )
-    kernel = GraphKernel._from_csr(labels, indptr, indices)
+    kernel = kernel_from_wire(wire)
     try:
         _KERNELS[graph] = kernel
         if _KERNEL_GUARD:
@@ -670,6 +881,164 @@ def graph_from_wire(wire: KernelWire) -> nx.Graph:
     except TypeError:  # graph type that cannot be weak-referenced
         pass
     return graph
+
+
+def kernel_from_wire(wire: KernelWire, backend: str | None = None):
+    """Rebuild just the kernel from a wire (no graph object at all).
+
+    The backend follows the current selection settings (or ``backend=``),
+    so a worker process receiving a million-node wire reconstructs a
+    packed kernel straight from the CSR bytes — one ``frombuffer``, no
+    adjacency dicts, no mask table.
+    """
+    n = len(wire.labels)
+    if _resolve_backend(n, backend) == "packed":
+        from repro.graphs.packed import PackedGraphKernel
+
+        return PackedGraphKernel.from_wire_parts(wire.labels, wire.indptr, wire.indices)
+    indptr = array("q")
+    indptr.frombytes(wire.indptr)
+    indices = array("q")
+    indices.frombytes(wire.indices)
+    return GraphKernel._from_csr(list(wire.labels), indptr, indices)
+
+
+def instance_from_wire(wire: KernelWire):
+    """The wire as a solvable instance: ``nx.Graph`` or :class:`KernelView`.
+
+    Below the packed threshold this is :func:`graph_from_wire` (full
+    graph object, kernel pre-seeded); at or above it the instance stays
+    a :class:`KernelView` over a packed kernel — the O(n + m) path the
+    batch runners and sweep workers hand to ``solve``.
+    """
+    if _resolve_backend(len(wire.labels)) == "packed":
+        return KernelView(kernel_from_wire(wire, "packed"))
+    return graph_from_wire(wire)
+
+
+# -- streaming ingestion ----------------------------------------------------
+
+
+def kernel_from_edges(
+    edges: Iterable, *, n: int | None = None, nodes: Iterable | None = None,
+    backend: str | None = None,
+):
+    """Build a kernel straight from an edge iterable — no ``nx.Graph``.
+
+    Streams ``edges`` once (buffered in bounded chunks), maps labels to
+    repr-sorted kernel order (vectorized for all-int labels), and
+    assembles canonical CSR with numpy sorts — a million-node instance
+    ingests in O(n + m) memory without ever touching adjacency dicts.
+    ``n`` declares the vertex set as ``range(n)`` (so trailing isolated
+    vertices survive); ``nodes`` adds explicit extra vertices; backend
+    selection follows :func:`kernel_for` unless forced.  Wrap the
+    result in :class:`KernelView` to feed ``solve``/``solve_many``.
+    """
+    from repro.graphs.packed import PackedGraphKernel, build_undirected_csr, collect_edges
+
+    labels, us, vs = collect_edges(edges, n=n, nodes=nodes)
+    indptr, indices = build_undirected_csr(len(labels), us, vs)
+    if _resolve_backend(len(labels), backend) == "packed":
+        return PackedGraphKernel(labels, indptr, indices)
+    int_indptr = array("q")
+    int_indptr.frombytes(indptr.tobytes())
+    int_indices = array("q")
+    int_indices.frombytes(indices.tobytes())
+    return GraphKernel._from_csr(labels, int_indptr, int_indices)
+
+
+def kernel_from_edge_file(
+    path, *, n: int | None = None, nodes: Iterable | None = None,
+    backend: str | None = None,
+):
+    """Build a kernel from a whitespace-separated edge-list file.
+
+    One ``u v`` pair per line; blank lines and ``#`` comments are
+    skipped.  The file is read line-by-line into
+    :func:`kernel_from_edges`, so ingestion stays streaming end to end.
+    """
+
+    def _edges():
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                first, second = line.split()[:2]
+                yield int(first), int(second)
+
+    return kernel_from_edges(_edges(), n=n, nodes=nodes, backend=backend)
+
+
+# -- on-disk wire format ----------------------------------------------------
+
+_WIRE_MAGIC = b"REPROWIRE1\n"
+
+
+def write_wire(wire: KernelWire, path) -> None:
+    """Write a :class:`KernelWire` to disk in bounded chunks.
+
+    Format: magic line; a header line ``<n> <len(indptr)>
+    <len(indices)> <label-mode>``; the labels (raw little-endian int64
+    for all-int labels, a length-prefixed pickle otherwise); then the
+    CSR blobs, each streamed through a ``memoryview`` window so no
+    wire-sized temporary is ever created.
+    """
+    all_int = all(type(label) is int for label in wire.labels)
+    with open(path, "wb") as handle:
+        handle.write(_WIRE_MAGIC)
+        mode = "int" if all_int else "pickle"
+        handle.write(
+            f"{len(wire.labels)} {len(wire.indptr)} {len(wire.indices)} {mode}\n".encode()
+        )
+        if all_int:
+            label_view = memoryview(array("q", wire.labels).tobytes())
+            for offset in range(0, len(label_view), _WIRE_CHUNK):
+                handle.write(label_view[offset : offset + _WIRE_CHUNK])
+        else:
+            blob = pickle.dumps(tuple(wire.labels), protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(f"{len(blob)}\n".encode())
+            handle.write(blob)
+        for payload in (wire.indptr, wire.indices):
+            view = memoryview(payload)
+            for offset in range(0, len(view), _WIRE_CHUNK):
+                handle.write(view[offset : offset + _WIRE_CHUNK])
+
+
+def _read_exact(handle, length: int) -> bytes:
+    buffer = bytearray(length)
+    view = memoryview(buffer)
+    offset = 0
+    while offset < length:
+        got = handle.readinto(view[offset : offset + _WIRE_CHUNK])
+        if not got:
+            raise ValueError("truncated wire file")
+        offset += got
+    return bytes(buffer)
+
+
+def read_wire(path) -> KernelWire:
+    """Read a :func:`write_wire` file back into a :class:`KernelWire`.
+
+    Reads in bounded chunks straight into preallocated buffers; combine
+    with :func:`kernel_from_wire`/:func:`instance_from_wire` to go from
+    disk to a solvable million-node instance without an ``nx.Graph``.
+    """
+    with open(path, "rb") as handle:
+        if handle.readline() != _WIRE_MAGIC:
+            raise ValueError(f"{path} is not a repro wire file")
+        count_s, indptr_len_s, indices_len_s, mode = handle.readline().split()
+        count, indptr_len, indices_len = int(count_s), int(indptr_len_s), int(indices_len_s)
+        if mode == b"int":
+            raw = array("q")
+            raw.frombytes(_read_exact(handle, count * 8))
+            labels = tuple(raw)
+        else:
+            blob_len = int(handle.readline())
+            labels = pickle.loads(_read_exact(handle, blob_len))
+        indptr = _read_exact(handle, indptr_len)
+        indices = _read_exact(handle, indices_len)
+    return KernelWire(labels, indptr, indices)
 
 
 def invalidate_kernel(graph: nx.Graph) -> None:

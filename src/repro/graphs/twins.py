@@ -40,20 +40,32 @@ def true_twin_classes(graph: nx.Graph) -> list[set[Vertex]]:
     """
     kernel = kernel_for(graph)
     labels = kernel.labels
-    buckets: dict[int, list[int]] = {}
-    for i, bits in enumerate(kernel.closed_bits):
-        buckets.setdefault(bits, []).append(i)
+    buckets: dict = {}
+    for i, key in enumerate(_closed_keys(kernel)):
+        buckets.setdefault(key, []).append(i)
     return [{labels[i] for i in members} for members in buckets.values()]
+
+
+def _closed_keys(kernel):
+    """Hashable per-vertex closed-neighborhood keys, kernel order.
+
+    Int backend: the precomputed bitsets themselves.  Packed backend:
+    the sorted closed CSR rows as bytes — no mask table is ever built.
+    """
+    if kernel.backend == "packed":
+        cind, ccols = kernel._closed_csr()
+        return (ccols[cind[i] : cind[i + 1]].tobytes() for i in range(kernel.n))
+    return iter(kernel.closed_bits)
 
 
 def has_true_twins(graph: nx.Graph) -> bool:
     """Return whether ``graph`` contains at least one true-twin pair."""
     kernel = kernel_for(graph)
-    seen: set[int] = set()
-    for bits in kernel.closed_bits:
-        if bits in seen:
+    seen: set = set()
+    for key in _closed_keys(kernel):
+        if key in seen:
             return True
-        seen.add(bits)
+        seen.add(key)
     return False
 
 
@@ -73,9 +85,25 @@ def remove_true_twins(graph: nx.Graph) -> tuple[nx.Graph, dict[Vertex, Vertex]]:
     ``MDS(G⁻) = MDS(G)``: a dominating set of ``G⁻`` dominates ``G``
     because a removed twin has the same closed neighborhood as its
     representative.
+
+    On a packed kernel the per-round fixpoint runs as prefix-sum
+    bucketing over the closed CSR (same rounds, same representatives);
+    the reduced graph is still materialized as an ``nx`` subgraph, so
+    callers needing a graph-free reduction should use
+    :func:`repro.graphs.packed.twin_survivor_indices` directly (as the
+    D₂ pipeline does).
     """
     kernel = kernel_for(graph)
     labels = kernel.labels
+    if kernel.backend == "packed":
+        from repro.graphs.packed import twin_survivor_indices
+
+        survivor_idx, representative = twin_survivor_indices(kernel)
+        mapping = {
+            labels[i]: labels[int(rep)] for i, rep in enumerate(representative.tolist())
+        }
+        reduced = graph.subgraph({labels[int(i)] for i in survivor_idx}).copy()
+        return reduced, mapping
     closed = kernel.closed_bits
     mapping = {v: v for v in graph.nodes}
     survivors = kernel.full_mask

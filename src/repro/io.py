@@ -99,17 +99,35 @@ def load_graph(path: str | Path) -> nx.Graph:
     return graph_from_dict(json.loads(Path(path).read_text()))
 
 
+#: Bytes of CSR blob encoded per base64 block.  A multiple of 3 so the
+#: per-block encodings concatenate into one valid base64 string; sized
+#: so encoding a million-node wire never materialises more than one
+#: small transient buffer beyond the output.
+_B64_CHUNK = 3 * (1 << 20)
+
+
+def _b64_chunked(blob: bytes) -> str:
+    """``base64.b64encode`` in bounded chunks (large-wire friendly)."""
+    view = memoryview(blob)
+    return "".join(
+        base64.b64encode(view[start : start + _B64_CHUNK]).decode("ascii")
+        for start in range(0, len(view), _B64_CHUNK)
+    )
+
+
 def kernel_wire_to_dict(wire: "KernelWire") -> dict:
     """JSON-ready dict for a :class:`repro.graphs.kernel.KernelWire`.
 
-    The CSR byte arrays travel base64-encoded; labels travel as plain
-    JSON (tuple labels become lists and are re-tupled on the way back,
-    like every other vertex round-trip in this module).
+    The CSR byte arrays travel base64-encoded (chunk-encoded, so the
+    transient working set stays bounded even for million-node wires);
+    labels travel as plain JSON (tuple labels become lists and are
+    re-tupled on the way back, like every other vertex round-trip in
+    this module).
     """
     return {
         "labels": list(wire.labels),
-        "indptr": base64.b64encode(wire.indptr).decode("ascii"),
-        "indices": base64.b64encode(wire.indices).decode("ascii"),
+        "indptr": _b64_chunked(wire.indptr),
+        "indices": _b64_chunked(wire.indices),
     }
 
 

@@ -27,6 +27,7 @@ from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 from scipy.sparse import csr_matrix
 
 from repro.graphs.kernel import GraphKernel, iter_bits, kernel_for
+from repro.graphs.packed import greedy_cover_packed, two_packing_packed
 from repro.graphs.util import ball, closed_neighborhood
 
 Vertex = Hashable
@@ -45,7 +46,14 @@ def greedy_cover_mask(kernel: GraphKernel, target_mask: int, candidate_mask: int
     domination number — branch-and-bound uses it as its incumbent, and
     :func:`repro.solvers.greedy.greedy_b_dominating_set` is a label
     wrapper around it.
+
+    Backend-generic: on a packed kernel the masks are
+    :class:`~repro.graphs.packed.PackedMask` and the core dispatches to
+    the lazy-heap :func:`~repro.graphs.packed.greedy_cover_packed`,
+    which reproduces this selection (max gain, lowest index) exactly.
     """
+    if kernel.backend == "packed":
+        return greedy_cover_packed(kernel, target_mask, candidate_mask)
     closed = kernel.closed_bits
     remaining = target_mask
     chosen = 0
@@ -73,6 +81,12 @@ class PackingBound:
     static fail-first visit order (fewest coverers first, kernel index
     as tie-break); :meth:`bound` is then a pure mask loop — cheap enough
     to run at every branch-and-bound node.
+
+    Int-backend only: branch-and-bound explores subsets of small
+    instances, exactly the regime the precomputed ``closed_bits`` table
+    exists for.  On a packed kernel construction raises (no mask
+    table); force ``REPRO_KERNEL_BACKEND=int`` to run B&B on a graph
+    past the auto-selection threshold.
     """
 
     __slots__ = ("_order", "_block")
@@ -118,8 +132,12 @@ def two_packing_lower_bound(graph: nx.Graph) -> int:
     """Greedy 2-packing: pairwise distance-≥3 vertices (each needs its own
     dominator).  Deterministic greedy by ascending degree, then repr
     (kernel index order *is* repr order), with the blocked set kept as a
-    kernel bitset and each radius-2 ball one kernel BFS."""
+    kernel bitset and each radius-2 ball one kernel BFS.  On a packed
+    kernel (large graphs / :class:`~repro.graphs.kernel.KernelView`
+    instances) the same greedy runs as boolean-array CSR gathers."""
     kernel = kernel_for(graph)
+    if kernel.backend == "packed":
+        return two_packing_packed(kernel)
     labels = kernel.labels
     blocked = 0
     count = 0

@@ -79,10 +79,15 @@ class InstanceRef:
         )
 
     def materialise(self):
-        """``(meta, graph)`` with the kernel pre-seeded from the wire."""
-        from repro.graphs.kernel import graph_from_wire
+        """``(meta, instance)`` with the kernel pre-seeded from the wire.
 
-        return self.meta, graph_from_wire(kernel_wire_from_dict(self.wire_dict))
+        The instance is an ``nx.Graph`` below the packed threshold and a
+        :class:`~repro.graphs.kernel.KernelView` at or above it — the
+        same backend split every worker applies.
+        """
+        from repro.graphs.kernel import instance_from_wire
+
+        return self.meta, instance_from_wire(kernel_wire_from_dict(self.wire_dict))
 
 
 @dataclass(frozen=True)

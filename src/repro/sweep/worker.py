@@ -52,7 +52,7 @@ def execute_shard(task: dict) -> tuple[str, list[dict]]:
     Module-level so :class:`concurrent.futures.ProcessPoolExecutor` can
     pickle it by reference.
     """
-    from repro.graphs.kernel import graph_from_wire
+    from repro.graphs.kernel import instance_from_wire
 
     shard = task["shard"]
     shard_id = shard["id"]
@@ -83,9 +83,11 @@ def execute_shard(task: dict) -> tuple[str, list[dict]]:
         # deterministic family at two seeds — share one kernel), but the
         # meta is always the entry's own: provenance must never be
         # deduplicated along with the bytes.
+        # instance_from_wire keeps big instances as KernelViews over
+        # packed kernels — a million-node shard never builds an nx.Graph.
         graph = graphs.get(entry["digest"])
         if graph is None:
-            graph = graph_from_wire(kernel_wire_from_dict(entry["wire"]))
+            graph = instance_from_wire(kernel_wire_from_dict(entry["wire"]))
             graphs[entry["digest"]] = graph
         meta = dict(entry.get("meta", {}))
         if task["kind"] == "solve":

@@ -112,7 +112,9 @@ class TestKernelStructure:
         graph.add_nodes_from([0, 1, 2])
         graph.add_edge(0, 1)
         kernel = kernel_for(graph)
-        assert kernel.labels_of(kernel.closed_bits[kernel.index(2)]) == {2}
+        assert kernel.labels_of(
+            kernel.closed_neighborhood_bits(kernel.bits_of([2]))
+        ) == {2}
         assert not kernel.dominates(kernel.bits_of([0]))
         assert kernel.dominates(kernel.bits_of([0, 2]))
 
